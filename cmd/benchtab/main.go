@@ -1,0 +1,116 @@
+// Command benchtab regenerates the paper's evaluation artifacts on the
+// simulator: Table I and Figures 7-10, the headline summary, and the
+// ablation of CTXBack's three techniques.
+//
+// Usage:
+//
+//	benchtab [-quick] [-samples N] [-table1] [-fig7] [-fig8] [-fig9]
+//	         [-fig10] [-ablation] [-summary] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctxback/internal/harness"
+)
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "small configuration (fast, less faithful)")
+		samples    = flag.Int("samples", 0, "preemption sample points per kernel x technique")
+		table1     = flag.Bool("table1", false, "regenerate Table I")
+		fig7       = flag.Bool("fig7", false, "regenerate Fig 7 (context size)")
+		fig8       = flag.Bool("fig8", false, "regenerate Fig 8 (preemption time)")
+		fig9       = flag.Bool("fig9", false, "regenerate Fig 9 (resume time)")
+		fig10      = flag.Bool("fig10", false, "regenerate Fig 10 (runtime overhead)")
+		ablation   = flag.Bool("ablation", false, "CTXBack technique ablation")
+		summary    = flag.Bool("summary", false, "headline numbers (implies figs 7-10)")
+		qos        = flag.String("qos", "", "waiting-time distribution for one benchmark (e.g. -qos KM)")
+		contention = flag.String("contention", "", "BASELINE switch time vs busy SMs for one benchmark (e.g. -contention KM)")
+		all        = flag.Bool("all", false, "everything")
+	)
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	if *quick {
+		opts = harness.QuickOptions()
+	}
+	if *samples > 0 {
+		opts.Samples = *samples
+	}
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *ablation || *summary || *qos != "" || *contention != "") {
+		*all = true
+	}
+	if *all {
+		*table1, *fig7, *fig8, *fig9, *fig10, *ablation, *summary = true, true, true, true, true, true, true
+	}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+
+	if *table1 {
+		rows, err := harness.TableI(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.RenderTableI(rows))
+	}
+
+	var f7, f8, f9, f10 *harness.Figure
+	var err error
+	if *fig7 || *summary {
+		if f7, err = harness.Fig7(opts); err != nil {
+			fail(err)
+		}
+		if *fig7 {
+			fmt.Println(harness.RenderFigure(f7))
+		}
+	}
+	if *fig8 || *fig9 || *summary {
+		if f8, f9, err = harness.MeasureDynamic(opts); err != nil {
+			fail(err)
+		}
+		if *fig8 {
+			fmt.Println(harness.RenderFigure(f8))
+		}
+		if *fig9 {
+			fmt.Println(harness.RenderFigure(f9))
+		}
+	}
+	if *fig10 || *summary {
+		if f10, err = harness.Fig10(opts); err != nil {
+			fail(err)
+		}
+		if *fig10 {
+			fmt.Println(harness.RenderFigure(f10))
+		}
+	}
+	if *ablation {
+		rows, err := harness.Ablation(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.RenderAblation(rows))
+	}
+	if *summary {
+		fmt.Println(harness.RenderSummary(harness.Summarize(f7, f8, f9, f10)))
+	}
+	if *qos != "" {
+		r, err := harness.WaitDistribution(opts, *qos, max(opts.Samples*3, 9))
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.RenderQoS(r))
+	}
+	if *contention != "" {
+		rows, err := harness.ContentionSweep(opts, *contention)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.RenderContention(*contention, rows))
+	}
+}

@@ -1,0 +1,124 @@
+// Command gpusim runs a Table-I benchmark on the GPU simulator, with an
+// optional mid-run preemption under a chosen technique, and verifies the
+// output against the CPU golden reference.
+//
+// Usage:
+//
+//	gpusim -kernel KM                         # plain run
+//	gpusim -kernel KM -technique CTXBack -at 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ctxback/internal/kernels"
+	"ctxback/internal/preempt"
+	"ctxback/internal/sim"
+)
+
+func main() {
+	var (
+		kernel  = flag.String("kernel", "VA", "benchmark abbreviation")
+		techStr = flag.String("technique", "", "preemption technique (BASELINE, LIVE, CKPT, CS-Defer, CTXBack, CTXBack+CS-Defer)")
+		at      = flag.Float64("at", 0.5, "preemption point as a fraction of the uninterrupted runtime")
+		blocks  = flag.Int("blocks", 8, "thread blocks")
+		warps   = flag.Int("warps", 2, "warps per block")
+		iters   = flag.Int("iters", 16, "main-loop iterations per warp")
+		trace   = flag.Int("trace", 0, "print the last N executed instructions of the preempted run")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "gpusim:", err)
+		os.Exit(1)
+	}
+
+	params := kernels.Params{NumBlocks: *blocks, WarpsPerBlock: *warps, ItersPerWarp: *iters, Seed: 7}
+	factory := func() *kernels.Workload {
+		wl, err := kernels.ByAbbrev(strings.ToUpper(*kernel), params)
+		if err != nil {
+			fail(err)
+		}
+		return wl
+	}
+	cfg := sim.DefaultConfig()
+
+	// Golden run.
+	wl := factory()
+	golden := sim.MustNewDevice(cfg)
+	if _, err := wl.Launch(golden); err != nil {
+		fail(err)
+	}
+	if err := golden.Run(1 << 40); err != nil {
+		fail(err)
+	}
+	if err := wl.Verify(golden); err != nil {
+		fail(fmt.Errorf("golden run failed verification: %w", err))
+	}
+	fmt.Printf("%s: %d warps, %d instructions, %d cycles (%.1f us) — output verified\n",
+		wl.FullName, wl.TotalWarps(), golden.Stats.KernelInstrs, golden.Now(), golden.Micros())
+
+	if *techStr == "" {
+		return
+	}
+	var kind preempt.Kind
+	found := false
+	for _, k := range preempt.Kinds() {
+		if strings.EqualFold(k.String(), *techStr) {
+			kind, found = k, true
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown technique %q", *techStr))
+	}
+	tech, err := preempt.New(kind, wl.Prog)
+	if err != nil {
+		fail(err)
+	}
+
+	wl2 := factory()
+	d := sim.MustNewDevice(cfg)
+	var tr *sim.Tracer
+	if *trace > 0 {
+		tr = d.EnableTrace(*trace)
+	}
+	d.AttachRuntime(tech)
+	if _, err := wl2.Launch(d); err != nil {
+		fail(err)
+	}
+	signal := int64(*at * float64(golden.Now()))
+	if err := d.RunUntil(func() bool { return d.Now() >= signal }, 1<<40); err != nil {
+		fail(err)
+	}
+	ep, err := d.Preempt(0, tech)
+	if err != nil {
+		fail(err)
+	}
+	if err := d.RunUntil(ep.Saved, 1<<40); err != nil {
+		fail(err)
+	}
+	fmt.Printf("preempted SM 0 at cycle %d with %v: %d warps, latency %d cycles (%.2f us), %d context bytes\n",
+		signal, kind, len(ep.Victims), ep.PreemptLatencyCycles(),
+		cfg.CyclesToMicros(ep.PreemptLatencyCycles()), ep.SavedBytes())
+	if err := d.Resume(ep); err != nil {
+		fail(err)
+	}
+	if err := d.RunUntil(ep.Finished, 1<<40); err != nil {
+		fail(err)
+	}
+	fmt.Printf("resumed: %d cycles (%.2f us) until all warps regained progress\n",
+		ep.ResumeCycles(), cfg.CyclesToMicros(ep.ResumeCycles()))
+	if err := d.Run(1 << 40); err != nil {
+		fail(err)
+	}
+	if err := wl2.Verify(d); err != nil {
+		fail(fmt.Errorf("preempted run failed verification: %w", err))
+	}
+	fmt.Println("preempted run completed — output verified identical to golden reference")
+	if tr != nil {
+		fmt.Printf("\nlast %d executed instructions:\n%s", *trace, tr.Render())
+	}
+}

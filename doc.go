@@ -1,0 +1,10 @@
+// Package ctxback is a from-scratch reproduction of "CTXBack: Enabling
+// Low Latency GPU Context Switching via Context Flashback" (IPDPS 2021)
+// as a Go library: a SIMT GPU simulator, the CTXBack compiler pass, five
+// baseline preemption techniques, the paper's twelve benchmark kernels,
+// and an evaluation harness that regenerates Table I and Figures 7-10.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for measured
+// results next to the paper's.
+package ctxback

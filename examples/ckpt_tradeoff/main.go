@@ -1,0 +1,131 @@
+// CKPT trade-off: the paper argues (§II-B, §V-C) that checkpoint-based
+// mechanisms face an inherent tension — frequent checkpoints cost
+// runtime, infrequent ones cost resume time — while CTXBack escapes the
+// trade-off entirely. This example sweeps the checkpoint interval on the
+// DOT kernel and prints both axes, with CTXBack as the reference row.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctxback/internal/isa"
+	"ctxback/internal/kernels"
+	"ctxback/internal/preempt"
+	"ctxback/internal/sim"
+)
+
+var (
+	cfg    = sim.DefaultConfig()
+	params = kernels.Params{NumBlocks: 16, WarpsPerBlock: 2, ItersPerWarp: 96, Seed: 7}
+)
+
+func main() {
+	clean, signal, err := cleanRun()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Checkpoint-interval sweep on DOT (resume time vs runtime overhead)")
+	fmt.Printf("%-24s %14s %18s\n", "mechanism", "resume us", "runtime overhead")
+	for _, interval := range []int{2, 4, 16, 64, 256} {
+		interval := interval
+		resumeUs, overhead, err := measure(signal, clean, func(p *isa.Program) (preempt.Technique, error) {
+			return preempt.NewCKPT(p, interval)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("CKPT interval %-10d %14.2f %17.2f%%\n", interval, resumeUs, overhead*100)
+	}
+	resumeUs, overhead, err := measure(signal, clean, func(p *isa.Program) (preempt.Technique, error) {
+		return preempt.NewCTXBack(p)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-24s %14.2f %17.2f%%\n", "CTXBack", resumeUs, overhead*100)
+	fmt.Println("\nCTXBack sits in the corner the checkpoint sweep cannot reach:")
+	fmt.Println("near-zero runtime overhead AND a short resume.")
+}
+
+// cleanRun measures the uninstrumented runtime and picks a mid-run
+// preemption point.
+func cleanRun() (cleanCycles, signal int64, err error) {
+	wl, err := kernels.ByAbbrev("DOT", params)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := sim.MustNewDevice(cfg)
+	if _, err := wl.Launch(d); err != nil {
+		return 0, 0, err
+	}
+	if err := d.Run(1 << 40); err != nil {
+		return 0, 0, err
+	}
+	if err := wl.Verify(d); err != nil {
+		return 0, 0, err
+	}
+	return d.Now(), d.Now() / 2, nil
+}
+
+// measure runs the kernel under the technique's instrumentation,
+// preempts at signal, resumes, and reports (resume us, runtime overhead).
+func measure(signal, clean int64, mk func(*isa.Program) (preempt.Technique, error)) (float64, float64, error) {
+	// Runtime overhead: instrumented full run, no preemption.
+	wl, err := kernels.ByAbbrev("DOT", params)
+	if err != nil {
+		return 0, 0, err
+	}
+	tech, err := mk(wl.Prog)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := sim.MustNewDevice(cfg)
+	d.AttachRuntime(tech)
+	if _, err := wl.Launch(d); err != nil {
+		return 0, 0, err
+	}
+	if err := d.Run(1 << 40); err != nil {
+		return 0, 0, err
+	}
+	if err := wl.Verify(d); err != nil {
+		return 0, 0, fmt.Errorf("instrumented run corrupted output: %w", err)
+	}
+	overhead := float64(d.Now()-clean) / float64(clean)
+
+	// Resume time: preempt mid-run.
+	wl2, err := kernels.ByAbbrev("DOT", params)
+	if err != nil {
+		return 0, 0, err
+	}
+	tech2, err := mk(wl2.Prog)
+	if err != nil {
+		return 0, 0, err
+	}
+	d2 := sim.MustNewDevice(cfg)
+	d2.AttachRuntime(tech2)
+	if _, err := wl2.Launch(d2); err != nil {
+		return 0, 0, err
+	}
+	if err := d2.RunUntil(func() bool { return d2.Now() >= signal }, 1<<40); err != nil {
+		return 0, 0, err
+	}
+	ep, err := d2.Preempt(0, tech2)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := d2.RunUntil(ep.Saved, 1<<40); err != nil {
+		return 0, 0, err
+	}
+	if err := d2.Resume(ep); err != nil {
+		return 0, 0, err
+	}
+	if err := d2.Run(1 << 40); err != nil {
+		return 0, 0, err
+	}
+	if err := wl2.Verify(d2); err != nil {
+		return 0, 0, fmt.Errorf("preempted run corrupted output: %w", err)
+	}
+	return cfg.CyclesToMicros(ep.ResumeCycles()), overhead, nil
+}

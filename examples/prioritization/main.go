@@ -1,0 +1,149 @@
+// Prioritization: the paper's motivating scenario (§I). A batch job
+// (K-Means, persistent-thread style) occupies the GPU when a
+// latency-sensitive inference job (ReLU) arrives. For each preemption
+// technique we measure what actually matters to the latency-sensitive
+// job — how long it waits for an SM — and what it costs the batch job.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctxback/internal/kernels"
+	"ctxback/internal/preempt"
+	"ctxback/internal/sim"
+)
+
+var debug = false
+
+func main() {
+	cfg := sim.DefaultConfig()
+	batchParams := kernels.Params{NumBlocks: 24, WarpsPerBlock: 2, ItersPerWarp: 160, Seed: 7}
+	lsParams := kernels.Params{NumBlocks: 2, WarpsPerBlock: 2, ItersPerWarp: 4, Seed: 11, MemBase: 192 << 20}
+
+	fmt.Println("Latency-sensitive job preempting a K-Means batch job")
+	fmt.Printf("%-18s %14s %14s %14s %14s\n",
+		"technique", "LS wait us", "LS total us", "resume us", "batch slowdown")
+
+	// Reference: batch job runtime without any interference.
+	baseBatch, err := runScenario(cfg, batchParams, lsParams, preempt.Kind(-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, kind := range preempt.Kinds() {
+		r, err := runScenario(cfg, batchParams, lsParams, kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %14.2f %14.2f %14.2f %13.2f%%\n",
+			kind, r.lsWaitUs, r.lsTotalUs, r.resumeUs,
+			100*(r.batchUs-baseBatch.batchUs)/baseBatch.batchUs)
+	}
+}
+
+type result struct {
+	lsWaitUs  float64 // signal -> SM released
+	lsTotalUs float64 // signal -> LS job finished
+	resumeUs  float64
+	batchUs   float64 // batch job completion time
+}
+
+// runScenario runs the batch job, optionally preempts SM 0 for the
+// latency-sensitive job at one third of the batch runtime, and reports
+// the timings. kind < 0 runs the batch job alone.
+func runScenario(cfg sim.Config, batchParams, lsParams kernels.Params, kind preempt.Kind) (result, error) {
+	batch, err := kernels.ByAbbrev("KM", batchParams)
+	if err != nil {
+		return result{}, err
+	}
+	d := sim.MustNewDevice(cfg)
+
+	var tech preempt.Technique
+	if kind >= 0 {
+		if tech, err = preempt.New(kind, batch.Prog); err != nil {
+			return result{}, err
+		}
+		d.AttachRuntime(tech)
+	}
+	bl, err := batch.Launch(d)
+	if err != nil {
+		return result{}, err
+	}
+	if kind < 0 {
+		if err := d.Run(1 << 40); err != nil {
+			return result{}, err
+		}
+		if err := batch.Verify(d); err != nil {
+			return result{}, fmt.Errorf("batch verify: %w", err)
+		}
+		return result{batchUs: d.Micros()}, nil
+	}
+
+	// Estimate a mid-run arrival point from a dry run.
+	dry := sim.MustNewDevice(cfg)
+	batchDry, _ := kernels.ByAbbrev("KM", batchParams)
+	if _, err := batchDry.Launch(dry); err != nil {
+		return result{}, err
+	}
+	if err := dry.Run(1 << 40); err != nil {
+		return result{}, err
+	}
+	arrival := dry.Now() / 3
+
+	if err := d.RunUntil(func() bool { return d.Now() >= arrival }, 1<<40); err != nil {
+		return result{}, err
+	}
+	signal := d.Now()
+	ep, err := d.Preempt(0, tech)
+	if err != nil {
+		return result{}, err
+	}
+	if err := d.RunUntil(ep.Saved, 1<<40); err != nil {
+		return result{}, err
+	}
+	d.AdvanceTo(ep.SignalCycle + ep.PreemptLatencyCycles())
+	waitCycles := ep.PreemptLatencyCycles()
+
+	// The latency-sensitive job takes over the freed SM.
+	ls, err := kernels.ByAbbrev("RELU", lsParams)
+	if err != nil {
+		return result{}, err
+	}
+	// The LS buffers live at MemBase, well above the batch job's.
+	if err := ls.Init(d); err != nil {
+		return result{}, err
+	}
+	lsl, err := d.Launch(sim.LaunchSpec{
+		Prog: ls.Prog, NumBlocks: ls.NumBlocks, WarpsPerBlock: ls.WarpsPerBlock,
+		Setup: ls.WarpSetup, SMFilter: []int{0},
+	})
+	if err != nil {
+		return result{}, err
+	}
+	if err := d.RunUntil(lsl.Done, 1<<40); err != nil {
+		return result{}, err
+	}
+	lsDone := d.Now()
+	if debug {
+		fmt.Printf("  [%v] signal=%d allSaved=%d lat=%d lsDone=%d\n",
+			kind, signal, ep.SignalCycle+ep.PreemptLatencyCycles(), ep.PreemptLatencyCycles(), lsDone)
+	}
+
+	// Give the SM back to the batch job.
+	if err := d.Resume(ep); err != nil {
+		return result{}, err
+	}
+	if err := d.RunUntil(func() bool { return ep.Finished() && bl.Done() }, 1<<40); err != nil {
+		return result{}, err
+	}
+	if err := batch.Verify(d); err != nil {
+		return result{}, fmt.Errorf("%v: batch output corrupted: %w", kind, err)
+	}
+	return result{
+		lsWaitUs:  cfg.CyclesToMicros(waitCycles),
+		lsTotalUs: cfg.CyclesToMicros(lsDone - signal),
+		resumeUs:  cfg.CyclesToMicros(ep.ResumeCycles()),
+		batchUs:   d.Micros(),
+	}, nil
+}

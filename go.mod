@@ -1,0 +1,3 @@
+module ctxback
+
+go 1.22

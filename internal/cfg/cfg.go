@@ -1,0 +1,218 @@
+// Package cfg builds control-flow structure over isa.Programs: basic
+// blocks, the control-flow graph, loop headers, and the idempotent-region
+// analysis that bounds how far back a flashback point may be placed
+// (paper §III-E).
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctxback/internal/isa"
+)
+
+// Block is a maximal straight-line instruction sequence [Start, End).
+type Block struct {
+	ID    int
+	Start int // PC of first instruction
+	End   int // PC one past the last instruction
+	Succs []int
+	Preds []int
+}
+
+// Len returns the instruction count of the block.
+func (b *Block) Len() int { return b.End - b.Start }
+
+// Graph is the control-flow graph of one program.
+type Graph struct {
+	Prog   *isa.Program
+	Blocks []Block
+	// blockOf maps each PC to the index of its containing block.
+	blockOf []int
+	// regionStart[pc] is the smallest PC q such that every instruction in
+	// [q, pc) may be safely re-executed: all of [q, pc) lies in pc's basic
+	// block and contains no idempotence hazard (atomic, barrier, endpgm,
+	// or a may-aliasing load-then-store pair).
+	regionStart []int
+}
+
+// Build constructs the CFG and region analysis for p.
+func Build(p *isa.Program) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("cfg: %w", err)
+	}
+	g := &Graph{Prog: p}
+	g.splitBlocks()
+	g.linkEdges()
+	g.computeRegions()
+	return g, nil
+}
+
+// MustBuild is Build that panics on error (for static, test-verified
+// kernels).
+func MustBuild(p *isa.Program) *Graph {
+	g, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func (g *Graph) splitBlocks() {
+	p := g.Prog
+	n := p.Len()
+	leader := make([]bool, n)
+	leader[0] = true
+	for pc := 0; pc < n; pc++ {
+		in := p.At(pc)
+		if in.IsBranch() {
+			if in.Target < n {
+				leader[in.Target] = true
+			}
+			if pc+1 < n {
+				leader[pc+1] = true
+			}
+		} else if in.Op == isa.SEndpgm && pc+1 < n {
+			leader[pc+1] = true
+		}
+	}
+	g.blockOf = make([]int, n)
+	start := 0
+	for pc := 1; pc <= n; pc++ {
+		if pc == n || leader[pc] {
+			id := len(g.Blocks)
+			g.Blocks = append(g.Blocks, Block{ID: id, Start: start, End: pc})
+			for i := start; i < pc; i++ {
+				g.blockOf[i] = id
+			}
+			start = pc
+		}
+	}
+}
+
+func (g *Graph) linkEdges() {
+	p := g.Prog
+	addEdge := func(from, toPC int) {
+		to := g.blockOf[toPC]
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		last := p.At(b.End - 1)
+		switch {
+		case last.Op == isa.SEndpgm || last.Op == isa.CtxExit:
+			// no successors
+		case last.IsUnconditionalBranch():
+			addEdge(i, last.Target)
+		case last.IsBranch():
+			addEdge(i, last.Target)
+			if b.End < p.Len() {
+				addEdge(i, b.End)
+			}
+		default:
+			if b.End < p.Len() {
+				addEdge(i, b.End)
+			}
+		}
+	}
+	for i := range g.Blocks {
+		sort.Ints(g.Blocks[i].Succs)
+		sort.Ints(g.Blocks[i].Preds)
+	}
+}
+
+// computeRegions derives regionStart per PC. Within each block we scan
+// forward tracking the last hazard. Hazards that forbid re-executing the
+// instruction at hazard PC h force regionStart = h+1 for all later PCs:
+//   - atomics, barriers, endpgm (ordering / visible-once effects);
+//   - a store that may alias an earlier load in the current region
+//     (read-modify-write: replaying the load would observe the new value).
+func (g *Graph) computeRegions() {
+	p := g.Prog
+	g.regionStart = make([]int, p.Len()+1)
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		start := b.Start
+		// lastLoads holds the PCs of loads seen since `start`.
+		var lastLoads []int
+		for pc := b.Start; pc <= b.End; pc++ {
+			g.regionStart[pc] = start
+			if pc == b.End {
+				break
+			}
+			in := p.At(pc)
+			cls := in.Op.Info().Class
+			switch {
+			case cls == isa.ClassAtomic || in.Op == isa.SBarrier || in.Op == isa.SEndpgm:
+				start = pc + 1
+				lastLoads = lastLoads[:0]
+			case in.Op == isa.VGStore || in.Op == isa.SGStore || in.Op == isa.VLStore:
+				for _, l := range lastLoads {
+					if l >= start && isa.MayAlias(p.At(l), in) {
+						if l+1 > start {
+							start = l + 1
+						}
+					}
+				}
+			case in.Op == isa.VGLoad || in.Op == isa.SGLoad || in.Op == isa.VLLoad:
+				lastLoads = append(lastLoads, pc)
+			}
+		}
+	}
+	if p.Len() > 0 {
+		g.regionStart[p.Len()] = g.regionStart[p.Len()-1]
+	}
+}
+
+// BlockOf returns the block containing pc.
+func (g *Graph) BlockOf(pc int) *Block { return &g.Blocks[g.blockOf[pc]] }
+
+// FlashbackHead returns the earliest PC that may serve as a flashback
+// point for a preemption arriving at pc: the window [head, pc) must stay
+// inside pc's basic block and inside its idempotent region.
+func (g *Graph) FlashbackHead(pc int) int {
+	if pc >= g.Prog.Len() {
+		pc = g.Prog.Len() - 1
+	}
+	head := g.BlockOf(pc).Start
+	if rs := g.regionStart[pc]; rs > head {
+		head = rs
+	}
+	return head
+}
+
+// LoopHeaders returns the set of block IDs that are targets of back
+// edges (a conservative DFS-based loop-header detection).
+func (g *Graph) LoopHeaders() map[int]bool {
+	headers := make(map[int]bool)
+	state := make([]int, len(g.Blocks)) // 0 unvisited, 1 on stack, 2 done
+	var dfs func(int)
+	dfs = func(b int) {
+		state[b] = 1
+		for _, s := range g.Blocks[b].Succs {
+			switch state[s] {
+			case 0:
+				dfs(s)
+			case 1:
+				headers[s] = true
+			}
+		}
+		state[b] = 2
+	}
+	if len(g.Blocks) > 0 {
+		dfs(0)
+	}
+	return headers
+}
+
+// String renders a compact description for debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		fmt.Fprintf(&sb, "B%d [%d,%d) -> %v\n", b.ID, b.Start, b.End, b.Succs)
+	}
+	return sb.String()
+}

@@ -1,0 +1,539 @@
+package core
+
+import (
+	"ctxback/internal/isa"
+	"ctxback/internal/liveness"
+)
+
+// verRef names one value: a register and which version of it.
+type verRef struct {
+	reg isa.Reg
+	ver version
+}
+
+// analyzer runs the window analysis for a single (P, Q) pair.
+type analyzer struct {
+	prog  *isa.Program
+	live  *liveness.Info
+	feats Feature
+	// osrb maps backed-up registers to their spare registers; only
+	// entries whose value at Q equals the backed-up copy are passed in
+	// (the selector filters per window).
+	osrb map[isa.Reg]isa.Reg
+
+	p, q int
+	n    int
+
+	defsOf map[isa.Reg][]int // ascending window indices defining reg
+	usesOf map[isa.Reg][]int // ascending window indices reading reg
+	// Per-instruction caches (computed once; the fixpoint re-reads them
+	// every round).
+	needs [][]verRef  // resolved versioned operand reads
+	idefs [][]isa.Reg // defined registers
+
+	status    []Status
+	initSrc   map[isa.Reg]InitSource
+	revertPos map[isa.Reg]int // for InitRevertResume
+
+	preemptReverts []PreemptRevert
+	resumeReverts  map[isa.Reg]ResumeRevert
+	preemptState   map[isa.Reg]version // simulated state during preempt reverts
+}
+
+// AnalyzeWindow builds (and validates) the plan for executing context
+// switching at flashback-point Q when the signal arrives at P. Returns
+// nil when Q is not a valid flashback-point for P under the enabled
+// features.
+func AnalyzeWindow(prog *isa.Program, live *liveness.Info, p, q int, feats Feature, osrb map[isa.Reg]isa.Reg) *Plan {
+	if q > p || q < 0 {
+		return nil
+	}
+	a := &analyzer{
+		prog: prog, live: live, feats: feats, osrb: osrb,
+		p: p, q: q, n: p - q,
+		defsOf:        make(map[isa.Reg][]int),
+		initSrc:       make(map[isa.Reg]InitSource),
+		revertPos:     make(map[isa.Reg]int),
+		resumeReverts: make(map[isa.Reg]ResumeRevert),
+		preemptState:  make(map[isa.Reg]version),
+	}
+	a.status = make([]Status, a.n)
+	a.buildDefs()
+	a.classify()
+	plan := a.buildPlan()
+	if plan == nil {
+		return nil
+	}
+	if err := ValidatePlan(prog, live, plan); err != nil {
+		// The greedy planner proposed something the symbolic replay
+		// rejects; treat the window as infeasible rather than risk a
+		// miscompile.
+		return nil
+	}
+	return plan
+}
+
+func (a *analyzer) instr(i int) *isa.Instruction { return a.prog.At(a.q + i) }
+
+func (a *analyzer) buildDefs() {
+	a.idefs = make([][]isa.Reg, a.n)
+	for i := 0; i < a.n; i++ {
+		a.idefs[i] = a.instr(i).Defs(nil)
+		for _, r := range a.idefs[i] {
+			a.defsOf[r] = append(a.defsOf[r], i)
+		}
+	}
+	a.needs = make([][]verRef, a.n)
+	a.usesOf = make(map[isa.Reg][]int)
+	for i := 0; i < a.n; i++ {
+		for _, r := range a.instr(i).Uses(nil) {
+			a.needs[i] = append(a.needs[i], verRef{reg: r, ver: a.ver(i, r)})
+			a.usesOf[r] = append(a.usesOf[r], i)
+		}
+	}
+}
+
+// ver returns the version of reg at window position i (before instr i
+// executes); i == n gives the version at P.
+func (a *analyzer) ver(i int, reg isa.Reg) version {
+	defs := a.defsOf[reg]
+	v := verInit
+	for _, d := range defs {
+		if d < i {
+			v = version(d)
+		} else {
+			break
+		}
+	}
+	return v
+}
+
+// lastDef returns the final in-window definition of reg (or verInit).
+func (a *analyzer) lastDef(reg isa.Reg) version { return a.ver(a.n, reg) }
+
+// resAvailAtP reports whether instruction i's definition of reg is still
+// in the physical register when the signal is processed (backward pass
+// of Algorithm 1).
+func (a *analyzer) resAvailAtP(i int, reg isa.Reg) bool {
+	return a.lastDef(reg) == version(i)
+}
+
+// operandNeeds lists the versioned values instruction i reads.
+func (a *analyzer) operandNeeds(i int) []verRef { return a.needs[i] }
+
+// availAt reports whether ref can be present in the register file at
+// replay position pos.
+func (a *analyzer) availAt(ref verRef, pos int) bool {
+	if ref.ver == verInit {
+		switch a.initSrc[ref.reg] {
+		case InitDirect, InitRevertPreempt, InitOSRB:
+			return true
+		case InitRevertResume:
+			return a.revertPos[ref.reg] <= pos
+		}
+		return false
+	}
+	switch a.status[ref.ver] {
+	case StatusReExec, StatusReload:
+		return true
+	}
+	return false
+}
+
+func (a *analyzer) classify() {
+	// Seed init availability: registers never defined in the window keep
+	// their flashback-point values in the physical file.
+	seedInit := func(reg isa.Reg) {
+		if _, done := a.initSrc[reg]; done {
+			return
+		}
+		if len(a.defsOf[reg]) == 0 {
+			a.initSrc[reg] = InitDirect
+			return
+		}
+		if a.feats&FeatOSRB != 0 {
+			if _, ok := a.osrb[reg]; ok {
+				a.initSrc[reg] = InitOSRB
+				return
+			}
+		}
+		a.initSrc[reg] = InitUnavailable
+	}
+	for i := 0; i < a.n; i++ {
+		for _, ref := range a.needs[i] {
+			seedInit(ref.reg)
+		}
+		for _, r := range a.idefs[i] {
+			seedInit(r)
+		}
+	}
+	for r := range a.live.LiveIn[a.p] {
+		seedInit(r)
+	}
+
+	// Stores and other durable side effects need no restoration: their
+	// effect is already in memory when the signal arrives.
+	for i := 0; i < a.n; i++ {
+		if len(a.idefs[i]) == 0 {
+			a.status[i] = StatusSkip
+		}
+	}
+
+	// Fixpoint: classification and reverting enable each other
+	// (paper §III-E).
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < a.n; i++ {
+			if a.status[i] != StatusUnknown {
+				continue
+			}
+			if a.tryClassify(i) {
+				changed = true
+			}
+		}
+		if a.feats&FeatRevert != 0 {
+			for reg, src := range a.initSrc {
+				if src != InitUnavailable {
+					continue
+				}
+				if a.tryRevert(reg) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Preference pass (paper §III-B: "CTXBack prefers re-execution to
+	// saving/reloading if both are feasible"): the greedy fixpoint may
+	// classify an instruction Reload before a later revert makes its
+	// operands available; upgrade those to ReExec. Availability is
+	// unchanged by the upgrade (both statuses restore the results), so a
+	// single pass suffices.
+	for i := 0; i < a.n; i++ {
+		if a.status[i] != StatusReload {
+			continue
+		}
+		ok := true
+		for _, ref := range a.operandNeeds(i) {
+			if !a.availAt(ref, i) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			a.status[i] = StatusReExec
+		}
+	}
+}
+
+func (a *analyzer) tryClassify(i int) bool {
+	// Re-executable: every operand's needed version reaches position i.
+	ok := true
+	for _, ref := range a.operandNeeds(i) {
+		if !a.availAt(ref, i) {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		a.status[i] = StatusReExec
+		return true
+	}
+	if a.feats&FeatRelaxed == 0 {
+		return false
+	}
+	// Reloadable: every live result this instruction must restore is
+	// still physically present at P (backward pass of Algorithm 1).
+	for _, r := range a.idefs[i] {
+		if a.defNeededSomewhere(i, r) && !a.resAvailAtP(i, r) {
+			return false
+		}
+	}
+	a.status[i] = StatusReload
+	return true
+}
+
+// defNeededSomewhere reports whether version i of reg has any consumer:
+// a later window instruction reading it, or R_cur at P. A use at
+// position j reads version i exactly when i is reg's latest definition
+// before j.
+func (a *analyzer) defNeededSomewhere(i int, reg isa.Reg) bool {
+	if a.ver(a.n, reg) == version(i) && a.live.LiveIn[a.p].Has(reg) {
+		return true
+	}
+	next := a.n
+	for _, d := range a.defsOf[reg] {
+		if d > i {
+			next = d
+			break
+		}
+	}
+	for _, u := range a.usesOf[reg] {
+		if u > i && u <= next {
+			return true
+		}
+		if u > next {
+			break
+		}
+	}
+	return false
+}
+
+// revertExtraRefs lists the versioned values the revert of window
+// instruction k reads besides the recovered register itself. Vector
+// reverts implicitly depend on the EXEC mask the original ran under.
+func (a *analyzer) revertExtraRefs(k int) ([]verRef, bool) {
+	in := a.instr(k)
+	regs, ok := in.RevertExtraOperands()
+	if !ok {
+		return nil, false
+	}
+	var out []verRef
+	for _, x := range regs {
+		out = append(out, verRef{reg: x, ver: a.ver(k, x)})
+	}
+	if in.Op.Info().ReadsExec {
+		out = append(out, verRef{reg: isa.Exec, ver: a.ver(k, isa.Exec)})
+	}
+	return out, true
+}
+
+// tryRevert attempts to make reg's flashback-point value available via
+// instruction reverting (Algorithm 2), preferring the preemption stage.
+func (a *analyzer) tryRevert(reg isa.Reg) bool {
+	defs := a.defsOf[reg]
+	if len(defs) == 0 {
+		return false
+	}
+	if a.tryRevertAtPreempt(reg, defs) {
+		return true
+	}
+	return a.tryRevertAtResume(reg, defs)
+}
+
+// tryRevertAtPreempt simulates reverting every in-window definition of
+// reg, newest first, against the evolving preemption-stage machine state.
+func (a *analyzer) tryRevertAtPreempt(reg isa.Reg, defs []int) bool {
+	// Tentative simulation on a copy of the state.
+	state := func(r isa.Reg) version {
+		if v, ok := a.preemptState[r]; ok {
+			return v
+		}
+		return a.lastDef(r)
+	}
+	tentative := make(map[isa.Reg]version)
+	get := func(r isa.Reg) version {
+		if v, ok := tentative[r]; ok {
+			return v
+		}
+		return state(r)
+	}
+	var revs []PreemptRevert
+	for j := len(defs) - 1; j >= 0; j-- {
+		k := defs[j]
+		in := a.instr(k)
+		rev, ok := in.Revertible()
+		if !ok || in.Dst != reg {
+			return false
+		}
+		if get(reg) != version(k) {
+			return false
+		}
+		extras, _ := a.revertExtraRefs(k)
+		for _, ref := range extras {
+			if get(ref.reg) != ref.ver {
+				return false
+			}
+		}
+		tentative[reg] = a.ver(k, reg)
+		revs = append(revs, PreemptRevert{K: k, Instr: rev})
+	}
+	if get(reg) != verInit {
+		return false
+	}
+	// Commit.
+	for r, v := range tentative {
+		a.preemptState[r] = v
+	}
+	a.preemptReverts = append(a.preemptReverts, revs...)
+	a.initSrc[reg] = InitRevertPreempt
+	return true
+}
+
+// tryRevertAtResume schedules a single revert inside the resume replay
+// (single-definition case): the overwriting instruction's result is
+// saved at preemption, reloaded during resume, and reverted once its
+// other operands hold the right versions.
+func (a *analyzer) tryRevertAtResume(reg isa.Reg, defs []int) bool {
+	if len(defs) != 1 {
+		return false
+	}
+	k := defs[0]
+	in := a.instr(k)
+	rev, ok := in.Revertible()
+	if !ok || in.Dst != reg {
+		return false
+	}
+	// The source value (def k) must be physically present at P so it can
+	// be saved into a slot.
+	if !a.resAvailAtP(k, reg) {
+		return false
+	}
+	extras, _ := a.revertExtraRefs(k)
+	// Find the earliest placement p (before the first init-version use of
+	// reg) where every extra operand holds its at-k version.
+	limit := a.firstInitUse(reg)
+	for pos := 0; pos <= limit; pos++ {
+		ok := true
+		for _, ref := range extras {
+			if a.ver(pos, ref.reg) != ref.ver || !a.availAt(ref, pos) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			a.initSrc[reg] = InitRevertResume
+			a.revertPos[reg] = pos
+			a.resumeReverts[reg] = ResumeRevert{Pos: pos, Instr: rev, SlotReg: reg, SlotVer: version(k)}
+			return true
+		}
+	}
+	return false
+}
+
+// firstInitUse returns the first window position reading reg's init
+// version (or n when only R_cur needs it).
+func (a *analyzer) firstInitUse(reg isa.Reg) int {
+	for i := 0; i < a.n; i++ {
+		if a.ver(i, reg) != verInit {
+			break
+		}
+		for _, u := range a.instr(i).Uses(nil) {
+			if u == reg {
+				return i
+			}
+		}
+	}
+	return a.n
+}
+
+// buildPlan propagates needs backward from R_cur and assembles the plan.
+// Returns nil when some needed value is unobtainable.
+func (a *analyzer) buildPlan() *Plan {
+	plan := &Plan{
+		P:              a.p,
+		Q:              a.q,
+		Status:         make([]Status, a.n),
+		InitRegs:       make(map[isa.Reg]InitSource),
+		ReloadRegs:     make(map[int]isa.RegSet),
+		PreemptReverts: a.preemptReverts,
+		OSRB:           make(map[isa.Reg]isa.Reg),
+	}
+	for i := range plan.Status {
+		plan.Status[i] = StatusSkip // only needed instructions replay
+	}
+
+	processed := make(map[verRef]bool)
+	var queue []verRef
+	push := func(ref verRef) {
+		if !processed[ref] {
+			processed[ref] = true
+			queue = append(queue, ref)
+		}
+	}
+	for r := range a.live.LiveIn[a.p] {
+		push(verRef{reg: r, ver: a.ver(a.n, r)})
+	}
+
+	needRevert := make(map[isa.Reg]bool)
+	for len(queue) > 0 {
+		ref := queue[0]
+		queue = queue[1:]
+		if ref.ver == verInit {
+			src := a.initSrc[ref.reg]
+			switch src {
+			case InitDirect, InitRevertPreempt:
+				plan.InitRegs[ref.reg] = src
+			case InitOSRB:
+				plan.InitRegs[ref.reg] = src
+				plan.OSRB[ref.reg] = a.osrb[ref.reg]
+			case InitRevertResume:
+				plan.InitRegs[ref.reg] = src
+				needRevert[ref.reg] = true
+				rr := a.resumeReverts[ref.reg]
+				// The revert consumes the saved def-version slot and its
+				// extra operands at the placement position.
+				extras, _ := a.revertExtraRefs(int(rr.SlotVer))
+				for _, e := range extras {
+					push(e)
+				}
+			default:
+				return nil
+			}
+			continue
+		}
+		k := int(ref.ver)
+		switch a.status[k] {
+		case StatusReExec:
+			plan.Status[k] = StatusReExec
+			for _, need := range a.operandNeeds(k) {
+				push(need)
+			}
+		case StatusReload:
+			plan.Status[k] = StatusReload
+			if plan.ReloadRegs[k] == nil {
+				plan.ReloadRegs[k] = make(isa.RegSet)
+			}
+			plan.ReloadRegs[k].Add(ref.reg)
+		default:
+			return nil
+		}
+	}
+	for reg := range needRevert {
+		plan.ResumeReverts = append(plan.ResumeReverts, a.resumeReverts[reg])
+	}
+	sortResumeReverts(plan.ResumeReverts)
+
+	// Preempt reverts were accumulated for every attempted register; keep
+	// only those whose recovered register the plan actually saves, but
+	// keep ordering and chain-mates (a chain recovers exactly one reg, so
+	// filtering by recovered reg is safe only chain-wise; conservatively
+	// keep all committed reverts — extra reverts are harmless to
+	// correctness and cost one cycle each).
+
+	plan.ContextBytes = a.contextBytes(plan)
+	for i := 0; i < a.n; i++ {
+		if plan.Status[i] == StatusReExec {
+			plan.ReExecCount++
+		}
+	}
+	plan.ReExecCount += len(plan.ResumeReverts)
+	return plan
+}
+
+func (a *analyzer) contextBytes(plan *Plan) int {
+	bytes := 0
+	for reg, src := range plan.InitRegs {
+		switch src {
+		case InitDirect, InitRevertPreempt:
+			bytes += reg.ContextBytes()
+		case InitOSRB:
+			bytes += plan.OSRB[reg].ContextBytes()
+		case InitRevertResume:
+			// The overwriting result is saved instead.
+			bytes += reg.ContextBytes()
+		}
+	}
+	for _, regs := range plan.ReloadRegs {
+		bytes += regs.ContextBytes()
+	}
+	return bytes
+}
+
+func sortResumeReverts(rr []ResumeRevert) {
+	for i := 1; i < len(rr); i++ {
+		for j := i; j > 0 && rr[j].Pos < rr[j-1].Pos; j-- {
+			rr[j], rr[j-1] = rr[j-1], rr[j]
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctxback/internal/cfg"
+	"ctxback/internal/isa"
+	"ctxback/internal/liveness"
+)
+
+// genProgram builds a random straight-line integer kernel: a mix of
+// revertible ops (add/sub/xor), irreversible ones (mul/shr/mov), loads,
+// stores and compare/exec games, with aggressive register reuse so the
+// analyzer faces plenty of overwrites.
+func genProgram(rng *rand.Rand, nInstr int) *isa.Program {
+	const nV, nS = 8, 20
+	b := isa.NewBuilder("fuzz", nV, nS, 0)
+	v := func() isa.Operand { return isa.R(isa.V(rng.Intn(nV))) }
+	sR := func() isa.Operand { return isa.R(isa.S(4 + rng.Intn(4))) }
+	imm := func() isa.Operand { return isa.Imm(rng.Intn(64) + 1) }
+	src := func() isa.Operand {
+		switch rng.Intn(3) {
+		case 0:
+			return imm()
+		case 1:
+			return sR()
+		}
+		return v()
+	}
+	for i := 0; i < nInstr; i++ {
+		switch rng.Intn(12) {
+		case 0, 1:
+			b.I(isa.VAdd, v(), v(), src())
+		case 2:
+			b.I(isa.VSub, v(), v(), src())
+		case 3:
+			b.I(isa.VXor, v(), v(), src())
+		case 4:
+			b.I(isa.VMul, v(), v(), src())
+		case 5:
+			b.I(isa.VShr, v(), v(), imm())
+		case 6:
+			b.I(isa.VMov, v(), src())
+		case 7:
+			// Bounded address load: mask the address into the low 1 KB.
+			addr := isa.V(rng.Intn(nV))
+			b.I(isa.VAnd, isa.R(addr), isa.R(addr), isa.Imm(0x3FC))
+			b.I(isa.VGLoad, v(), isa.R(addr), isa.Imm(0)).Space(1)
+		case 8:
+			addr := isa.V(rng.Intn(nV))
+			b.I(isa.VAnd, isa.R(addr), isa.R(addr), isa.Imm(0x3FC))
+			b.I(isa.VGStore, isa.R(addr), v(), isa.Imm(1024)).Space(2)
+		case 9:
+			b.I(isa.SAdd, isa.R(isa.S(4+rng.Intn(4))), sR(), imm())
+		case 10:
+			b.I(isa.VCmpLtI, v(), src())
+			b.I(isa.SAndSaveExecVCC, isa.R(isa.S(10)))
+			b.I(isa.VAdd, v(), v(), imm())
+			b.I(isa.SSetExec, isa.R(isa.S(10)))
+		case 11:
+			b.I(isa.VMad, v(), v(), v(), v())
+		}
+	}
+	// Keep several registers live at the end so plans have real contexts.
+	b.I(isa.VGStore, isa.R(isa.V(0)), isa.R(isa.V(1)), isa.Imm(2048)).Space(3)
+	b.I(isa.VGStore, isa.R(isa.V(2)), isa.R(isa.V(3)), isa.Imm(2052)).Space(3)
+	b.I(isa.SEndpgm)
+	return b.MustBuild()
+}
+
+// TestFuzzPlannerSoundAndBounded compiles hundreds of random programs and
+// checks the invariants that must hold for every selected plan: it
+// passes the symbolic validator and its context never exceeds the LIVE
+// context by more than one special register.
+func TestFuzzPlannerSoundAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	iters := 120
+	if testing.Short() {
+		iters = 25
+	}
+	for it := 0; it < iters; it++ {
+		prog := genProgram(rng, 10+rng.Intn(30))
+		for _, feats := range []Feature{0, FeatRelaxed, FeatAll} {
+			c, err := CompileWindow(prog, feats, 64)
+			if err != nil {
+				t.Fatalf("iter %d feats %v: %v\n%s", it, feats, err, prog.Disassemble())
+			}
+			g := cfg.MustBuild(prog)
+			live := liveness.Analyze(g)
+			for pc, plan := range c.Plans {
+				if err := ValidatePlan(prog, live, plan); err != nil {
+					t.Fatalf("iter %d feats %v pc %d: %v\n%s", it, feats, pc, err, prog.Disassemble())
+				}
+				if plan.ContextBytes > live.ContextBytes(pc)+16 {
+					t.Fatalf("iter %d feats %v pc %d: plan %dB exceeds live %dB\n%s",
+						it, feats, pc, plan.ContextBytes, live.ContextBytes(pc), prog.Disassemble())
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzFeatureMonotonicity: enabling more techniques must never make
+// the mean selected context larger.
+func TestFuzzFeatureMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	iters := 40
+	if testing.Short() {
+		iters = 10
+	}
+	for it := 0; it < iters; it++ {
+		prog := genProgram(rng, 12+rng.Intn(24))
+		prev := int(^uint(0) >> 1)
+		for _, feats := range []Feature{0, FeatRelaxed, FeatRelaxed | FeatRevert, FeatAll} {
+			c, err := CompileWindow(prog, feats, 64)
+			if err != nil {
+				t.Fatalf("iter %d feats %v: %v", it, feats, err)
+			}
+			total := 0
+			for _, plan := range c.Plans {
+				total += plan.ContextBytes
+			}
+			if total > prev {
+				t.Fatalf("iter %d: enabling %v grew total context %d -> %d\n%s",
+					it, feats, prev, total, prog.Disassemble())
+			}
+			prev = total
+		}
+	}
+}

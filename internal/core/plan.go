@@ -1,0 +1,193 @@
+// Package core implements CTXBack's compiler pass (paper §III-IV): for
+// every instruction it finds flashback-points — preceding instructions
+// whose (relaxed) context can still be materialized when a preemption
+// signal arrives — using the three techniques of the paper:
+//
+//  1. relaxed flashback-point condition (Algorithm 1): combine
+//     re-execution with saving/reloading of in-between results;
+//  2. instruction reverting (Algorithm 2): recover overwritten registers
+//     by executing inverse instructions, at preemption or at resume;
+//  3. on-chip scalar register backup (OSRB): proactively copy critical
+//     scalar registers into unused registers during normal execution.
+//
+// Every plan the analyzer produces is checked by a symbolic validator
+// (validate.go) that replays the preemption and resume routines over
+// abstract value versions; unsound plans are rejected, so the search
+// degrades gracefully instead of miscompiling.
+package core
+
+import (
+	"fmt"
+
+	"ctxback/internal/isa"
+)
+
+// Feature selects which of the paper's techniques are enabled; used by
+// the ablation experiments.
+type Feature uint8
+
+const (
+	// FeatRelaxed enables Algorithm 1's relaxed flashback-point
+	// condition (save/reload of unrestorable in-between results).
+	FeatRelaxed Feature = 1 << iota
+	// FeatRevert enables instruction reverting (Algorithm 2).
+	FeatRevert
+	// FeatOSRB enables on-chip scalar register backup.
+	FeatOSRB
+
+	// FeatAll is the full CTXBack configuration.
+	FeatAll = FeatRelaxed | FeatRevert | FeatOSRB
+)
+
+func (f Feature) String() string {
+	s := ""
+	if f&FeatRelaxed != 0 {
+		s += "+relaxed"
+	}
+	if f&FeatRevert != 0 {
+		s += "+revert"
+	}
+	if f&FeatOSRB != 0 {
+		s += "+osrb"
+	}
+	if s == "" {
+		return "strict"
+	}
+	return s[1:]
+}
+
+// Status classifies how an in-window instruction's effect is restored
+// during resume.
+type Status uint8
+
+const (
+	// StatusUnknown: not yet classified (irrecoverable if it stays so).
+	StatusUnknown Status = iota
+	// StatusReExec: the instruction re-executes during resume.
+	StatusReExec
+	// StatusReload: its results were saved at preemption and reload at
+	// its position during resume.
+	StatusReload
+	// StatusSkip: side-effect already durable (stores); nothing to do.
+	StatusSkip
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusReExec:
+		return "re-exec"
+	case StatusReload:
+		return "reload"
+	case StatusSkip:
+		return "skip"
+	}
+	return "unknown"
+}
+
+// version identifies which value of a register is meant: verInit is the
+// value the register held at the flashback-point; k >= 0 is the value
+// defined by window instruction k.
+type version int
+
+const verInit version = -1
+
+// InitSource says how the flashback-point value of a register is
+// obtained at preemption time.
+type InitSource uint8
+
+const (
+	InitUnavailable InitSource = iota
+	// InitDirect: never overwritten in the window; save the physical
+	// register as-is.
+	InitDirect
+	// InitRevertPreempt: recovered by revert instructions executed in the
+	// preemption routine, then saved.
+	InitRevertPreempt
+	// InitRevertResume: recovered by a revert instruction inserted into
+	// the resume routine.
+	InitRevertResume
+	// InitOSRB: read from the on-chip scalar backup register.
+	InitOSRB
+)
+
+func (s InitSource) String() string {
+	switch s {
+	case InitDirect:
+		return "direct"
+	case InitRevertPreempt:
+		return "revert@preempt"
+	case InitRevertResume:
+		return "revert@resume"
+	case InitOSRB:
+		return "osrb"
+	}
+	return "unavailable"
+}
+
+// PreemptRevert is a revert instruction executed in the preemption
+// routine (before the init-version saves).
+type PreemptRevert struct {
+	// K is the window index of the reverted instruction.
+	K int
+	// Instr is the reverting instruction.
+	Instr isa.Instruction
+}
+
+// ResumeRevert is a revert instruction scheduled inside the resume
+// routine.
+type ResumeRevert struct {
+	// Pos is the window index before which the revert executes.
+	Pos int
+	// Instr is the reverting instruction.
+	Instr isa.Instruction
+	// SlotReg / SlotVer identify the saved value the revert consumes
+	// (the overwriting instruction's result, loaded before reverting).
+	SlotReg isa.Reg
+	SlotVer version
+}
+
+// Plan is the complete context-switching recipe for one (P, Q) pair.
+type Plan struct {
+	P int // instruction where the signal is processed
+	Q int // flashback-point (P == Q: no flashback, plain LIVE save)
+
+	// Status[i] classifies window instruction Q+i.
+	Status []Status
+
+	// InitRegs are the registers saved at preemption carrying their
+	// flashback-point (init) values, with their sources.
+	InitRegs map[isa.Reg]InitSource
+
+	// ReloadRegs[i] lists result registers of window instruction Q+i
+	// saved at preemption (current physical values) and reloaded at its
+	// resume position.
+	ReloadRegs map[int]isa.RegSet
+
+	// PreemptReverts are executed in the preemption routine, in order,
+	// before saving the init-version registers.
+	PreemptReverts []PreemptRevert
+
+	// ResumeReverts are inserted into the resume replay.
+	ResumeReverts []ResumeRevert
+
+	// OSRB maps a backed-up scalar/special register to its spare
+	// register.
+	OSRB map[isa.Reg]isa.Reg
+
+	// ContextBytes is the register context saved at preemption:
+	// init regs + reload slots + resume-revert source slots + OSRB
+	// spares. LDS and the PC word are accounted by the technique layer.
+	ContextBytes int
+
+	// ReExecCount is the number of instructions replayed during resume.
+	ReExecCount int
+}
+
+// WindowLen returns the number of in-between instructions.
+func (p *Plan) WindowLen() int { return p.P - p.Q }
+
+// String summarizes the plan for debugging.
+func (p *Plan) String() string {
+	return fmt.Sprintf("plan{P:%d Q:%d ctx:%dB reexec:%d reloads:%d revertsPre:%d revertsRes:%d}",
+		p.P, p.Q, p.ContextBytes, p.ReExecCount, len(p.ReloadRegs), len(p.PreemptReverts), len(p.ResumeReverts))
+}

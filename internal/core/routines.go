@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sort"
+
+	"ctxback/internal/isa"
+)
+
+// slotLayout assigns context-buffer slot ids to the values a plan saves.
+// Vector, scalar and special registers live in separate id spaces (they
+// use different context ops), so ids may repeat across spaces.
+type slotLayout struct {
+	next map[isa.RegClass]int32
+	ids  map[slotKey]int32
+}
+
+func newSlotLayout() *slotLayout {
+	return &slotLayout{next: make(map[isa.RegClass]int32), ids: make(map[slotKey]int32)}
+}
+
+func (l *slotLayout) slot(reg isa.Reg, ver version) int32 {
+	k := slotKey{reg, ver}
+	if id, ok := l.ids[k]; ok {
+		return id
+	}
+	id := l.next[reg.Class]
+	l.next[reg.Class] = id + 1
+	l.ids[k] = id
+	return id
+}
+
+func saveOp(reg isa.Reg) isa.Op {
+	switch reg.Class {
+	case isa.RegVector:
+		return isa.CtxSaveV
+	case isa.RegSpecial:
+		return isa.CtxSaveSpec
+	}
+	return isa.CtxSaveS
+}
+
+func loadOp(reg isa.Reg) isa.Op {
+	switch reg.Class {
+	case isa.RegVector:
+		return isa.CtxLoadV
+	case isa.RegSpecial:
+		return isa.CtxLoadSpec
+	}
+	return isa.CtxLoadS
+}
+
+func saveInstr(reg isa.Reg, slot int32) isa.Instruction {
+	return isa.Instruction{Op: saveOp(reg), Srcs: [isa.MaxSrcs]isa.Operand{isa.R(reg)}, Imm0: slot}
+}
+
+func loadInstr(reg isa.Reg, slot int32) isa.Instruction {
+	return isa.Instruction{Op: loadOp(reg), Dst: reg, Imm0: slot}
+}
+
+// sortedRegs returns set members deterministically.
+func sortedRegs(s isa.RegSet) []isa.Reg { return s.Sorted() }
+
+// GenRoutines lowers a plan into its dedicated preemption and resume
+// routines (register part only — the technique layer appends LDS
+// save/restore, CtxSavePC/CtxResume and CtxExit).
+//
+// Preemption routine order matters: result slots are saved from the
+// physical file first, then reverts rewind the overwritten registers,
+// then the flashback-point context is saved.
+func GenRoutines(prog *isa.Program, plan *Plan) (preempt, resume []isa.Instruction) {
+	layout := newSlotLayout()
+	n := plan.WindowLen()
+
+	// --- Preemption ---
+	// 1. Result slots (reload + resume-revert sources), deterministic
+	// order, deduplicated by the layout.
+	saved := make(map[slotKey]bool)
+	var reloadPCs []int
+	for i := range plan.ReloadRegs {
+		reloadPCs = append(reloadPCs, i)
+	}
+	sort.Ints(reloadPCs)
+	for _, i := range reloadPCs {
+		for _, r := range sortedRegs(plan.ReloadRegs[i]) {
+			k := slotKey{r, version(i)}
+			if !saved[k] {
+				saved[k] = true
+				preempt = append(preempt, saveInstr(r, layout.slot(r, version(i))))
+			}
+		}
+	}
+	for _, rr := range plan.ResumeReverts {
+		k := slotKey{rr.SlotReg, rr.SlotVer}
+		if !saved[k] {
+			saved[k] = true
+			preempt = append(preempt, saveInstr(rr.SlotReg, layout.slot(rr.SlotReg, rr.SlotVer)))
+		}
+	}
+	// 2. Preemption-stage reverts.
+	for _, pr := range plan.PreemptReverts {
+		preempt = append(preempt, pr.Instr)
+	}
+	// 3. Flashback-point context.
+	var initRegs []isa.Reg
+	for r := range plan.InitRegs {
+		initRegs = append(initRegs, r)
+	}
+	sortRegsStable(initRegs)
+	for _, r := range initRegs {
+		switch plan.InitRegs[r] {
+		case InitDirect, InitRevertPreempt:
+			preempt = append(preempt, saveInstr(r, layout.slot(r, verInit)))
+		case InitOSRB:
+			// Key the slot by the spare register: the save/load ops use
+			// the spare's (scalar) slot space, so keying by the backed-up
+			// register would collide with unrelated scalar slots.
+			spare := plan.OSRB[r]
+			preempt = append(preempt, saveInstr(spare, layout.slot(spare, verInit)))
+		case InitRevertResume:
+			// Source slot already saved above.
+		}
+	}
+
+	// --- Resume ---
+	// 1. Flashback-point loads.
+	for _, r := range initRegs {
+		switch plan.InitRegs[r] {
+		case InitDirect, InitRevertPreempt:
+			resume = append(resume, loadInstr(r, layout.slot(r, verInit)))
+		case InitOSRB:
+			spare := plan.OSRB[r]
+			resume = append(resume, loadInstr(spare, layout.slot(spare, verInit)))
+			resume = append(resume, copyInstr(r, spare))
+		}
+	}
+	// 2. Replay with reverts and reloads at their positions.
+	revertAt := make(map[int][]ResumeRevert)
+	for _, rr := range plan.ResumeReverts {
+		revertAt[rr.Pos] = append(revertAt[rr.Pos], rr)
+	}
+	for pos := 0; pos <= n; pos++ {
+		for _, rr := range revertAt[pos] {
+			resume = append(resume, loadInstr(rr.SlotReg, layout.slot(rr.SlotReg, rr.SlotVer)))
+			resume = append(resume, rr.Instr)
+		}
+		if pos == n {
+			break
+		}
+		switch plan.Status[pos] {
+		case StatusReExec:
+			in := *prog.At(plan.Q + pos)
+			in.Comment = "re-exec"
+			resume = append(resume, in)
+		case StatusReload:
+			for _, r := range sortedRegs(plan.ReloadRegs[pos]) {
+				resume = append(resume, loadInstr(r, layout.slot(r, version(pos))))
+			}
+		}
+	}
+	return preempt, resume
+}
+
+// copyInstr materializes reg from its backup spare.
+func copyInstr(reg, spare isa.Reg) isa.Instruction {
+	switch {
+	case reg == isa.Exec:
+		return isa.Instruction{Op: isa.SSetExec, Srcs: [isa.MaxSrcs]isa.Operand{isa.R(spare)}, Comment: "osrb restore"}
+	case reg == isa.VCC:
+		return isa.Instruction{Op: isa.SSetVCC, Srcs: [isa.MaxSrcs]isa.Operand{isa.R(spare)}, Comment: "osrb restore"}
+	default:
+		return isa.Instruction{Op: isa.SMov, Dst: reg, Srcs: [isa.MaxSrcs]isa.Operand{isa.R(spare)}, Comment: "osrb restore"}
+	}
+}
+
+// backupInstr copies reg into its spare (inserted at block entries during
+// normal execution — the OSRB runtime overhead).
+func backupInstr(reg, spare isa.Reg) isa.Instruction {
+	switch {
+	case reg == isa.Exec:
+		return isa.Instruction{Op: isa.SGetExec, Dst: spare, Comment: "osrb backup"}
+	case reg == isa.VCC:
+		return isa.Instruction{Op: isa.SGetVCC, Dst: spare, Comment: "osrb backup"}
+	default:
+		return isa.Instruction{Op: isa.SMov, Dst: spare, Srcs: [isa.MaxSrcs]isa.Operand{isa.R(reg)}, Comment: "osrb backup"}
+	}
+}
+
+func sortRegsStable(regs []isa.Reg) {
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Class != regs[j].Class {
+			return regs[i].Class < regs[j].Class
+		}
+		return regs[i].Index < regs[j].Index
+	})
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctxback/internal/cfg"
+	"ctxback/internal/isa"
+	"ctxback/internal/liveness"
+)
+
+// DefaultMaxWindow bounds how far back the flashback-point search looks.
+// Candidate flashback-points are pruned to the local minima of the
+// live-in context size (the paper observes selected flashback-points are
+// exactly such local minima, §IV-A), so a window covering whole unrolled
+// loop bodies stays affordable.
+const DefaultMaxWindow = 512
+
+// Compiled is the output of the CTXBack pass for one kernel: a selected
+// flashback plan and dedicated routines per instruction, plus the global
+// OSRB backup assignment and its instrumentation points.
+type Compiled struct {
+	Prog  *isa.Program
+	Graph *cfg.Graph
+	Live  *liveness.Info
+	Feats Feature
+
+	// Plans[pc] is the chosen plan for a signal arriving at pc.
+	Plans []*Plan
+	// PreemptRoutines[pc] / ResumeRoutines[pc] are the register parts of
+	// the dedicated routines (technique layer appends LDS/PC handling).
+	PreemptRoutines [][]isa.Instruction
+	ResumeRoutines  [][]isa.Instruction
+
+	// OSRB is the global backup assignment (backed-up reg -> spare reg).
+	OSRB map[isa.Reg]isa.Reg
+	// BackupAt maps a block-entry PC to the backup copies executed there
+	// during normal execution.
+	BackupAt map[int][]isa.Instruction
+
+	// UniqueRoutines counts distinct preemption routine bodies after
+	// sharing (paper §IV-A).
+	UniqueRoutines int
+	// SharedRoutineBytes is the device-memory footprint of the shared
+	// preemption routines actually transferred with the kernel;
+	// UnsharedRoutineBytes is what per-instruction routines would cost
+	// without sharing (paper §IV-A's transfer/storage saving).
+	SharedRoutineBytes   int
+	UnsharedRoutineBytes int
+
+	MaxWindow int
+}
+
+// Compile runs the full CTXBack pass on prog.
+func Compile(prog *isa.Program, feats Feature) (*Compiled, error) {
+	return CompileWindow(prog, feats, DefaultMaxWindow)
+}
+
+// CompileWindow is Compile with an explicit flashback search bound.
+func CompileWindow(prog *isa.Program, feats Feature, maxWindow int) (*Compiled, error) {
+	graph, err := cfg.Build(prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	live := liveness.Analyze(graph)
+	c := &Compiled{
+		Prog: prog, Graph: graph, Live: live, Feats: feats,
+		OSRB:      make(map[isa.Reg]isa.Reg),
+		BackupAt:  make(map[int][]isa.Instruction),
+		MaxWindow: maxWindow,
+	}
+
+	if feats&FeatOSRB != 0 {
+		c.OSRB = chooseOSRB(prog, graph, live, feats, maxWindow)
+	}
+
+	n := prog.Len()
+	c.Plans = make([]*Plan, n)
+	c.PreemptRoutines = make([][]isa.Instruction, n)
+	c.ResumeRoutines = make([][]isa.Instruction, n)
+	shared := make(map[string]int)
+	for pc := 0; pc < n; pc++ {
+		plan := selectPlan(prog, graph, live, pc, feats, c.OSRB, maxWindow)
+		if plan == nil {
+			return nil, fmt.Errorf("core: no plan for pc %d (even the empty window failed)", pc)
+		}
+		c.Plans[pc] = plan
+		pre, res := GenRoutines(prog, plan)
+		c.PreemptRoutines[pc] = pre
+		c.ResumeRoutines[pc] = res
+		key := routineKey(pre)
+		if _, seen := shared[key]; !seen {
+			shared[key] = isa.RoutineBytes(pre)
+		}
+		c.UnsharedRoutineBytes += isa.RoutineBytes(pre)
+	}
+	c.UniqueRoutines = len(shared)
+	for _, bytes := range shared {
+		c.SharedRoutineBytes += bytes
+	}
+
+	// OSRB instrumentation: back up at the entry of every block whose
+	// selected plans rely on a backup.
+	needed := make(map[int]map[isa.Reg]bool) // blockStart -> regs
+	for pc, plan := range c.Plans {
+		for reg, src := range plan.InitRegs {
+			if src != InitOSRB {
+				continue
+			}
+			start := graph.BlockOf(pc).Start
+			if needed[start] == nil {
+				needed[start] = make(map[isa.Reg]bool)
+			}
+			needed[start][reg] = true
+		}
+	}
+	for start, regs := range needed {
+		var list []isa.Reg
+		for r := range regs {
+			list = append(list, r)
+		}
+		sortRegsStable(list)
+		for _, r := range list {
+			c.BackupAt[start] = append(c.BackupAt[start], backupInstr(r, c.OSRB[r]))
+		}
+	}
+	return c, nil
+}
+
+func routineKey(instrs []isa.Instruction) string {
+	var b strings.Builder
+	for i := range instrs {
+		b.WriteString(instrs[i].String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// EstPreemptCost ranks plans by estimated preemption latency: the
+// context traffic dominates; revert and save instructions add issue
+// cycles.
+func (p *Plan) EstPreemptCost() int64 {
+	return int64(p.ContextBytes)*8 + int64(len(p.PreemptReverts))*4
+}
+
+// EstResumeCost ranks plans by estimated resume time.
+func (p *Plan) EstResumeCost() int64 {
+	return int64(p.ContextBytes)*8 + int64(p.ReExecCount)*8
+}
+
+func betterPlan(a, b *Plan) bool {
+	if b == nil {
+		return true
+	}
+	ca, cb := a.EstPreemptCost(), b.EstPreemptCost()
+	if ca != cb {
+		return ca < cb
+	}
+	ra, rb := a.EstResumeCost(), b.EstResumeCost()
+	if ra != rb {
+		return ra < rb
+	}
+	// Prefer the nearer flashback-point.
+	return a.Q > b.Q
+}
+
+// filterOSRB keeps only backups whose copy (taken at block entry) still
+// equals the register's value at Q: no definitions in [blockStart, Q).
+func filterOSRB(prog *isa.Program, blockStart, q int, osrb map[isa.Reg]isa.Reg) map[isa.Reg]isa.Reg {
+	if len(osrb) == 0 {
+		return nil
+	}
+	out := make(map[isa.Reg]isa.Reg, len(osrb))
+	for r, spare := range osrb {
+		fresh := true
+		for pc := blockStart; pc < q && fresh; pc++ {
+			for _, d := range prog.At(pc).Defs(nil) {
+				if d == r {
+					fresh = false
+					break
+				}
+			}
+		}
+		if fresh {
+			out[r] = spare
+		}
+	}
+	return out
+}
+
+func selectPlan(prog *isa.Program, graph *cfg.Graph, live *liveness.Info, p int, feats Feature, osrb map[isa.Reg]isa.Reg, maxWindow int) *Plan {
+	head := graph.FlashbackHead(p)
+	if p-head > maxWindow {
+		head = p - maxWindow
+	}
+	blockStart := graph.BlockOf(p).Start
+	var best *Plan
+	for _, q := range candidateQs(live, head, p) {
+		filtered := filterOSRB(prog, blockStart, q, osrb)
+		plan := AnalyzeWindow(prog, live, p, q, feats, filtered)
+		if plan != nil && betterPlan(plan, best) {
+			best = plan
+		}
+	}
+	return best
+}
+
+// maxCandidates caps how many flashback-point candidates are analyzed
+// per instruction (the smallest-context ones win anyway).
+const maxCandidates = 8
+
+// candidateQs returns the flashback-point candidates for a signal at p:
+// p itself (the LIVE fallback), plus local minima of the live-in context
+// size in [head, p). Restricting the search to local minima is both the
+// paper's observation about which points win (§IV-A) and what keeps
+// whole-block windows affordable. Plateaus contribute only their point
+// nearest to p, and only the maxCandidates smallest minima are kept.
+func candidateQs(live *liveness.Info, head, p int) []int {
+	bytesAt := func(i int) int { return live.ContextBytes(i) }
+	// Running minimum from p backwards: a further flashback-point is
+	// only worth the extra re-execution when its context is strictly
+	// smaller than every nearer point's.
+	var mins []int
+	runMin := bytesAt(p)
+	for q := p - 1; q >= head; q-- {
+		if b := bytesAt(q); b < runMin {
+			runMin = b
+			mins = append(mins, q)
+		}
+	}
+	// Keep the smallest-context candidates (the cost model is dominated
+	// by context bytes, so larger minima rarely win); ties prefer the
+	// nearer point, which `mins` already orders first.
+	if len(mins) > maxCandidates {
+		sort.SliceStable(mins, func(i, j int) bool { return bytesAt(mins[i]) < bytesAt(mins[j]) })
+		mins = mins[:maxCandidates]
+	}
+	return append([]int{p}, mins...)
+}
+
+// chooseOSRB runs the selection once with every scalar and special
+// register hypothetically backed up, observes which backups the winning
+// plans would actually use, and assigns the available spare registers
+// (allocation-alignment padding, paper §III-D) to the most valuable.
+func chooseOSRB(prog *isa.Program, graph *cfg.Graph, live *liveness.Info, feats Feature, maxWindow int) map[isa.Reg]isa.Reg {
+	spares := spareRegs(prog)
+	if len(spares) == 0 {
+		return nil
+	}
+	// Hypothetical: every scalar/special reg backed up (spare identity is
+	// irrelevant for the trial; use a placeholder).
+	trial := make(map[isa.Reg]isa.Reg)
+	for i := 0; i < prog.NumSRegs; i++ {
+		trial[isa.S(i)] = isa.S(0)
+	}
+	trial[isa.Exec] = isa.S(0)
+	trial[isa.VCC] = isa.S(0)
+	trial[isa.SCC] = isa.S(0)
+
+	benefit := make(map[isa.Reg]int64)
+	for pc := 0; pc < prog.Len(); pc++ {
+		base := selectPlan(prog, graph, live, pc, feats&^FeatOSRB, nil, maxWindow)
+		with := selectPlan(prog, graph, live, pc, feats, trial, maxWindow)
+		if base == nil || with == nil {
+			continue
+		}
+		gain := base.EstPreemptCost() - with.EstPreemptCost()
+		if gain <= 0 {
+			continue
+		}
+		for reg, src := range with.InitRegs {
+			if src == InitOSRB {
+				benefit[reg] += gain
+			}
+		}
+	}
+	if len(benefit) == 0 {
+		return nil
+	}
+	var regs []isa.Reg
+	for r := range benefit {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if benefit[regs[i]] != benefit[regs[j]] {
+			return benefit[regs[i]] > benefit[regs[j]]
+		}
+		return regLess(regs[i], regs[j])
+	})
+	out := make(map[isa.Reg]isa.Reg)
+	for i, r := range regs {
+		if i >= len(spares) {
+			break
+		}
+		out[r] = spares[i]
+	}
+	return out
+}
+
+func regLess(a, b isa.Reg) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Index < b.Index
+}
+
+// spareRegs lists the scalar registers reserved by allocation alignment
+// but never used by the kernel — guaranteed-free backup storage.
+func spareRegs(prog *isa.Program) []isa.Reg {
+	var out []isa.Reg
+	for i := prog.NumSRegs; i < prog.AllocatedSRegs(); i++ {
+		out = append(out, isa.S(i))
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ctxback/internal/kernels"
+)
+
+func TestCompileTiming(t *testing.T) {
+	all, _ := kernels.All(kernels.TestParams())
+	for _, wl := range all {
+		start := time.Now()
+		if _, err := Compile(wl.Prog, FeatAll); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: %d instrs, %v", wl.Abbrev, wl.Prog.Len(), time.Since(start))
+	}
+}

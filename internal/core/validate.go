@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"ctxback/internal/isa"
+	"ctxback/internal/liveness"
+)
+
+// symVal is an abstract value: which version of which register it is. A
+// zero symVal (reg invalid) is poison.
+type symVal struct {
+	reg isa.Reg
+	ver version
+}
+
+func (v symVal) valid() bool { return v.reg.Valid() }
+
+// symState maps physical registers to abstract values.
+type symState map[isa.Reg]symVal
+
+// slotKey identifies a context-buffer slot in the validator.
+type slotKey struct {
+	reg isa.Reg
+	ver version
+}
+
+// winIndex resolves register versions inside a window without
+// materializing per-position states: verAt(i, r) is the version of r
+// just before window instruction i executes.
+type winIndex struct {
+	defsOf map[isa.Reg][]int
+	n      int
+}
+
+func newWinIndex(prog *isa.Program, q, n int) *winIndex {
+	w := &winIndex{defsOf: make(map[isa.Reg][]int), n: n}
+	for i := 0; i < n; i++ {
+		for _, r := range prog.At(q + i).Defs(nil) {
+			w.defsOf[r] = append(w.defsOf[r], i)
+		}
+	}
+	return w
+}
+
+func (w *winIndex) verAt(i int, r isa.Reg) version {
+	v := verInit
+	for _, d := range w.defsOf[r] {
+		if d < i {
+			v = version(d)
+		} else {
+			break
+		}
+	}
+	return v
+}
+
+func (w *winIndex) valAt(i int, r isa.Reg) symVal { return symVal{reg: r, ver: w.verAt(i, r)} }
+
+// ValidatePlan symbolically replays plan's preemption and resume stages
+// over abstract value versions and verifies that every live-in register
+// of P holds exactly the value it held when the signal arrived. It
+// returns a descriptive error for unsound plans.
+//
+// The check is exact for everything inside the window. Two premises are
+// established elsewhere and assumed here: idempotence of re-executed
+// memory loads (internal/cfg region analysis) and OSRB backup freshness
+// (the selector only offers backups whose copy equals the value at Q).
+func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
+	n := plan.WindowLen()
+	instr := func(i int) *isa.Instruction { return prog.At(plan.Q + i) }
+	idx := newWinIndex(prog, plan.Q, n)
+
+	// --- Preemption stage ---
+	// st starts as the state at P; registers absent from st hold their
+	// at-P version implicitly.
+	st := make(symState)
+	getP := func(r isa.Reg) symVal {
+		if v, ok := st[r]; ok {
+			return v
+		}
+		return idx.valAt(n, r)
+	}
+	slots := make(map[slotKey]symVal)
+
+	// 1. Save reload slots and resume-revert source slots from the
+	// physical state (before any revert mutates it).
+	for i, regs := range plan.ReloadRegs {
+		for r := range regs {
+			want := symVal{reg: r, ver: version(i)}
+			if got := getP(r); got != want {
+				return fmt.Errorf("reload slot (%s,v%d): physical holds %v at preemption", r, i, got)
+			}
+			slots[slotKey{r, version(i)}] = want
+		}
+	}
+	for _, rr := range plan.ResumeReverts {
+		want := symVal{reg: rr.SlotReg, ver: rr.SlotVer}
+		if got := getP(rr.SlotReg); got != want {
+			return fmt.Errorf("revert slot (%s,v%d): physical holds %v at preemption", rr.SlotReg, rr.SlotVer, got)
+		}
+		slots[slotKey{rr.SlotReg, rr.SlotVer}] = want
+	}
+
+	// 2. Execute preemption-stage reverts in order.
+	for _, pr := range plan.PreemptReverts {
+		if err := applyRevert(st, getP, idx, instr, pr.K, pr.Instr); err != nil {
+			return fmt.Errorf("preempt revert of window[%d]: %w", pr.K, err)
+		}
+	}
+
+	// 3. Save init-version registers.
+	initSlots := make(map[isa.Reg]symVal)
+	for r, src := range plan.InitRegs {
+		switch src {
+		case InitDirect, InitRevertPreempt:
+			got := getP(r)
+			if got != (symVal{reg: r, ver: verInit}) {
+				return fmt.Errorf("init save of %s (%v): holds %v after reverts", r, src, got)
+			}
+			initSlots[r] = got
+		case InitOSRB:
+			// Backup premise: the spare holds the value at Q.
+			initSlots[r] = symVal{reg: r, ver: verInit}
+		case InitRevertResume:
+			// Recovered during resume; the source slot was saved above.
+		default:
+			return fmt.Errorf("init reg %s has unusable source %v", r, src)
+		}
+	}
+
+	// --- Resume stage ---
+	// rst is explicit: registers absent are poison.
+	rst := make(symState)
+	for r, v := range initSlots {
+		rst[r] = v
+	}
+	getR := func(r isa.Reg) symVal { return rst[r] } // zero symVal = poison
+
+	revertAt := make(map[int][]ResumeRevert)
+	for _, rr := range plan.ResumeReverts {
+		revertAt[rr.Pos] = append(revertAt[rr.Pos], rr)
+	}
+
+	for pos := 0; pos <= n; pos++ {
+		for _, rr := range revertAt[pos] {
+			v, ok := slots[slotKey{rr.SlotReg, rr.SlotVer}]
+			if !ok {
+				return fmt.Errorf("resume revert at %d: slot (%s,v%d) never saved", pos, rr.SlotReg, rr.SlotVer)
+			}
+			rst[rr.SlotReg] = v
+			if err := applyRevert(rst, getR, idx, instr, int(rr.SlotVer), rr.Instr); err != nil {
+				return fmt.Errorf("resume revert at %d: %w", pos, err)
+			}
+		}
+		if pos == n {
+			break
+		}
+		switch plan.Status[pos] {
+		case StatusReExec:
+			in := instr(pos)
+			for _, u := range in.Uses(nil) {
+				want := idx.valAt(pos, u)
+				if got := getR(u); got != want {
+					return fmt.Errorf("re-exec window[%d] (%s): operand %s holds %v, want %v",
+						pos, in, u, got, want)
+				}
+			}
+			for _, d := range in.Defs(nil) {
+				rst[d] = symVal{reg: d, ver: version(pos)}
+			}
+		case StatusReload:
+			for r := range plan.ReloadRegs[pos] {
+				v, ok := slots[slotKey{r, version(pos)}]
+				if !ok {
+					return fmt.Errorf("reload window[%d]: slot (%s,v%d) never saved", pos, r, pos)
+				}
+				rst[r] = v
+			}
+		case StatusSkip:
+			// Either a durable side effect or a dead instruction.
+		default:
+			return fmt.Errorf("window[%d] left unclassified", pos)
+		}
+	}
+
+	// Final check: R_cur restored exactly.
+	for r := range live.LiveIn[plan.P] {
+		want := idx.valAt(n, r)
+		if got := getR(r); got != want {
+			return fmt.Errorf("live-in %s at P: restored %v, want %v", r, got, want)
+		}
+	}
+	return nil
+}
+
+// applyRevert checks and applies the revert of window instruction k on a
+// state (read through get, written through st): the recovered register
+// must hold k's result, every extra operand must hold its value as of
+// k's execution, and the recovered register becomes the pre-k value.
+func applyRevert(st symState, get func(isa.Reg) symVal, idx *winIndex, instr func(int) *isa.Instruction, k int, rev isa.Instruction) error {
+	orig := instr(k)
+	dst := orig.Dst
+	if cur := get(dst); cur != (symVal{reg: dst, ver: version(k)}) {
+		return fmt.Errorf("register %s holds %v, not the result of window[%d]", dst, cur, k)
+	}
+	check := func(x isa.Reg) error {
+		want := idx.valAt(k, x)
+		if got := get(x); got != want {
+			return fmt.Errorf("revert operand %s holds %v, want %v", x, got, want)
+		}
+		return nil
+	}
+	for _, s := range rev.SrcOperands() {
+		if s.IsReg() && s.Reg != dst {
+			if err := check(s.Reg); err != nil {
+				return err
+			}
+		}
+	}
+	if orig.Op.Info().ReadsExec {
+		if err := check(isa.Exec); err != nil {
+			return err
+		}
+	}
+	st[dst] = idx.valAt(k, dst)
+	return nil
+}

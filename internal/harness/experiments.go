@@ -1,0 +1,321 @@
+package harness
+
+import (
+	"fmt"
+
+	"ctxback/internal/core"
+	"ctxback/internal/kernels"
+	"ctxback/internal/preempt"
+)
+
+// TableIRow is one benchmark's line of Table I.
+type TableIRow struct {
+	Abbrev, Name                  string
+	VRegKB, SRegKB, LDSKB         float64
+	PreemptUs, ResumeUs           float64 // measured, BASELINE
+	PaperPreemptUs, PaperResumeUs float64
+	Warps                         int // victims preempted per episode
+}
+
+// TableI measures the BASELINE context-switch times for every benchmark
+// (paper Table I).
+func TableI(o Options) ([]TableIRow, error) {
+	var rows []TableIRow
+	for _, f := range kernels.Registry() {
+		p, err := o.prepare(f)
+		if err != nil {
+			return nil, err
+		}
+		st, err := o.measureAvg(p, preempt.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		prog := p.wl.Prog
+		rows = append(rows, TableIRow{
+			Abbrev:         p.wl.Abbrev,
+			Name:           p.wl.FullName,
+			VRegKB:         float64(prog.VRegContextBytes()) / 1024,
+			SRegKB:         float64(prog.SRegContextBytes()) / 1024,
+			LDSKB:          float64(prog.LDSBytes) / 1024,
+			PreemptUs:      o.Cfg.CyclesToMicros(st.PreemptCycles),
+			ResumeUs:       o.Cfg.CyclesToMicros(st.ResumeCycles),
+			PaperPreemptUs: p.wl.PaperPreemptUs,
+			PaperResumeUs:  p.wl.PaperResumeUs,
+			Warps:          st.Victims,
+		})
+	}
+	return rows, nil
+}
+
+// Series is one technique's normalized values across the benchmarks.
+type Series struct {
+	Kind   preempt.Kind
+	Label  string
+	Values map[string]float64 // abbrev -> value (normalized to BASELINE)
+	Mean   float64
+}
+
+// Figure is a full multi-series chart (one of Figs 7-10).
+type Figure struct {
+	Title    string
+	Unit     string
+	Abbrevs  []string
+	SeriesBy []Series
+}
+
+func geomeanOrMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Fig7 computes the normalized context size per benchmark (static
+// analysis, averaged over the instructions of the kernel, plus each
+// warp's LDS share which every technique must swap). The CKPT series is
+// the checkpoint size — the paper's dashed "minimum possible size".
+func Fig7(o Options) (*Figure, error) {
+	fig := &Figure{Title: "Fig 7: normalized context size", Unit: "x BASELINE"}
+	perKind := make(map[preempt.Kind]map[string]float64)
+	for _, k := range preempt.Kinds() {
+		perKind[k] = make(map[string]float64)
+	}
+	for _, f := range kernels.Registry() {
+		wl, err := f(o.Params)
+		if err != nil {
+			return nil, err
+		}
+		fig.Abbrevs = append(fig.Abbrevs, wl.Abbrev)
+		ldsShare := 0
+		if wl.Prog.LDSBytes > 0 {
+			ldsShare = wl.Prog.LDSBytes / o.Params.WarpsPerBlock
+		}
+		techs := make(map[preempt.Kind]preempt.Technique)
+		for _, k := range preempt.Kinds() {
+			t, err := preempt.New(k, wl.Prog)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", wl.Abbrev, k, err)
+			}
+			techs[k] = t
+		}
+		for _, k := range preempt.Kinds() {
+			var sum float64
+			for pc := 0; pc < wl.Prog.Len(); pc++ {
+				sum += float64(techs[k].StaticContextBytes(pc) + ldsShare)
+			}
+			perKind[k][wl.Abbrev] = sum / float64(wl.Prog.Len())
+		}
+	}
+	for _, k := range preempt.Kinds() {
+		s := Series{Kind: k, Label: k.String(), Values: make(map[string]float64)}
+		var vals []float64
+		for _, ab := range fig.Abbrevs {
+			v := perKind[k][ab] / perKind[preempt.Baseline][ab]
+			s.Values[ab] = v
+			vals = append(vals, v)
+		}
+		s.Mean = geomeanOrMean(vals)
+		fig.SeriesBy = append(fig.SeriesBy, s)
+	}
+	return fig, nil
+}
+
+// MeasureDynamic runs the preemption experiments once and derives both
+// Fig 8 (preemption time) and Fig 9 (resume time) from the same
+// episodes.
+func MeasureDynamic(o Options) (fig8, fig9 *Figure, err error) {
+	fig8 = &Figure{Title: "Fig 8: normalized preemption time", Unit: "x BASELINE"}
+	fig9 = &Figure{Title: "Fig 9: normalized resume time", Unit: "x BASELINE"}
+	pre := make(map[preempt.Kind]map[string]float64)
+	res := make(map[preempt.Kind]map[string]float64)
+	for _, k := range preempt.Kinds() {
+		pre[k] = make(map[string]float64)
+		res[k] = make(map[string]float64)
+	}
+	for _, f := range kernels.Registry() {
+		p, err := o.prepare(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		fig8.Abbrevs = append(fig8.Abbrevs, p.wl.Abbrev)
+		fig9.Abbrevs = append(fig9.Abbrevs, p.wl.Abbrev)
+		for _, k := range preempt.Kinds() {
+			st, err := o.measureAvg(p, k)
+			if err != nil {
+				return nil, nil, err
+			}
+			pre[k][p.wl.Abbrev] = float64(st.PreemptCycles)
+			res[k][p.wl.Abbrev] = float64(st.ResumeCycles)
+		}
+	}
+	fill := func(fig *Figure, data map[preempt.Kind]map[string]float64) {
+		for _, k := range preempt.Kinds() {
+			s := Series{Kind: k, Label: k.String(), Values: make(map[string]float64)}
+			var vals []float64
+			for _, ab := range fig.Abbrevs {
+				v := data[k][ab] / data[preempt.Baseline][ab]
+				s.Values[ab] = v
+				vals = append(vals, v)
+			}
+			s.Mean = geomeanOrMean(vals)
+			fig.SeriesBy = append(fig.SeriesBy, s)
+		}
+	}
+	fill(fig8, pre)
+	fill(fig9, res)
+	return fig8, fig9, nil
+}
+
+// Fig8 measures the normalized execution time of the preemption routines.
+func Fig8(o Options) (*Figure, error) {
+	f8, _, err := MeasureDynamic(o)
+	return f8, err
+}
+
+// Fig9 measures the normalized execution time of the resume routines
+// (restoration plus re-execution).
+func Fig9(o Options) (*Figure, error) {
+	_, f9, err := MeasureDynamic(o)
+	return f9, err
+}
+
+// Fig10 measures the runtime overhead of the two techniques that do work
+// during normal execution: CKPT's checkpoint stores and CTXBack's OSRB
+// copies.
+func Fig10(o Options) (*Figure, error) {
+	fig := &Figure{Title: "Fig 10: runtime overhead", Unit: "fraction of clean runtime"}
+	kinds := []preempt.Kind{preempt.Ckpt, preempt.CTXBack}
+	perKind := make(map[preempt.Kind]map[string]float64)
+	for _, k := range kinds {
+		perKind[k] = make(map[string]float64)
+	}
+	for _, f := range kernels.Registry() {
+		p, err := o.prepare(f)
+		if err != nil {
+			return nil, err
+		}
+		fig.Abbrevs = append(fig.Abbrevs, p.wl.Abbrev)
+		clean, err := o.runtimeCycles(p, preempt.Baseline, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range kinds {
+			with, err := o.runtimeCycles(p, k, true)
+			if err != nil {
+				return nil, err
+			}
+			perKind[k][p.wl.Abbrev] = float64(with-clean) / float64(clean)
+		}
+	}
+	for _, k := range kinds {
+		s := Series{Kind: k, Label: k.String(), Values: make(map[string]float64)}
+		var vals []float64
+		for _, ab := range fig.Abbrevs {
+			v := perKind[k][ab]
+			s.Values[ab] = v
+			vals = append(vals, v)
+		}
+		s.Mean = geomeanOrMean(vals)
+		fig.SeriesBy = append(fig.SeriesBy, s)
+	}
+	return fig, nil
+}
+
+// AblationRow reports the static context reduction of one CTXBack
+// feature combination.
+type AblationRow struct {
+	Feats     core.Feature
+	Label     string
+	MeanRatio float64 // mean normalized context vs BASELINE
+}
+
+// Ablation quantifies each of CTXBack's three techniques (DESIGN.md
+// call-out): strict condition only, +relaxed, +reverting, +OSRB.
+func Ablation(o Options) ([]AblationRow, error) {
+	combos := []core.Feature{
+		0,
+		core.FeatRelaxed,
+		core.FeatRelaxed | core.FeatRevert,
+		core.FeatAll,
+	}
+	var rows []AblationRow
+	for _, feats := range combos {
+		var ratios []float64
+		for _, f := range kernels.Registry() {
+			wl, err := f(o.Params)
+			if err != nil {
+				return nil, err
+			}
+			c, err := core.Compile(wl.Prog, feats)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", wl.Abbrev, feats, err)
+			}
+			base, err := preempt.New(preempt.Baseline, wl.Prog)
+			if err != nil {
+				return nil, err
+			}
+			var sum, sumBase float64
+			for pc := 0; pc < wl.Prog.Len(); pc++ {
+				sum += float64(c.Plans[pc].ContextBytes)
+				sumBase += float64(base.StaticContextBytes(pc))
+			}
+			ratios = append(ratios, sum/sumBase)
+		}
+		rows = append(rows, AblationRow{Feats: feats, Label: feats.String(), MeanRatio: geomeanOrMean(ratios)})
+	}
+	return rows, nil
+}
+
+// Summary aggregates the headline numbers the paper reports in the
+// abstract and §V.
+type Summary struct {
+	ContextReductionCTXBack float64 // vs BASELINE (Fig 7 mean)
+	ContextReductionLive    float64
+	ContextReductionCSDefer float64
+	ContextReductionComb    float64
+	RatioToMinimum          float64 // CTXBack / CKPT checkpoint size
+	PreemptReductionCTXBack float64 // Fig 8 mean
+	PreemptReductionComb    float64
+	CSDeferVsCTXBackLatency float64 // how much longer CS-Defer's latency is
+	ResumeReductionCTXBack  float64 // Fig 9 mean
+	ResumeReductionCSDefer  float64
+	CKPTResumeRatio         float64 // CKPT resume vs BASELINE
+	OverheadCTXBack         float64 // Fig 10 mean
+	OverheadCKPT            float64
+}
+
+// Summarize derives the summary from already-computed figures.
+func Summarize(fig7, fig8, fig9, fig10 *Figure) Summary {
+	get := func(f *Figure, k preempt.Kind) float64 {
+		for _, s := range f.SeriesBy {
+			if s.Kind == k {
+				return s.Mean
+			}
+		}
+		return 0
+	}
+	s := Summary{
+		ContextReductionCTXBack: 1 - get(fig7, preempt.CTXBack),
+		ContextReductionLive:    1 - get(fig7, preempt.Live),
+		ContextReductionCSDefer: 1 - get(fig7, preempt.CSDefer),
+		ContextReductionComb:    1 - get(fig7, preempt.Combined),
+		PreemptReductionCTXBack: 1 - get(fig8, preempt.CTXBack),
+		PreemptReductionComb:    1 - get(fig8, preempt.Combined),
+		ResumeReductionCTXBack:  1 - get(fig9, preempt.CTXBack),
+		ResumeReductionCSDefer:  1 - get(fig9, preempt.CSDefer),
+		CKPTResumeRatio:         get(fig9, preempt.Ckpt),
+		OverheadCTXBack:         get(fig10, preempt.CTXBack),
+		OverheadCKPT:            get(fig10, preempt.Ckpt),
+	}
+	if m := get(fig7, preempt.Ckpt); m > 0 {
+		s.RatioToMinimum = get(fig7, preempt.CTXBack) / m
+	}
+	if c := get(fig8, preempt.CTXBack); c > 0 {
+		s.CSDeferVsCTXBackLatency = get(fig8, preempt.CSDefer)/c - 1
+	}
+	return s
+}

@@ -1,0 +1,239 @@
+// Package harness drives the paper's evaluation (§V): it runs every
+// Table-I workload under every preemption technique on the simulator and
+// regenerates Table I and Figures 7-10, plus the aggregate statistics
+// and the ablation study of CTXBack's three techniques.
+package harness
+
+import (
+	"fmt"
+
+	"ctxback/internal/kernels"
+	"ctxback/internal/preempt"
+	"ctxback/internal/sim"
+)
+
+// Options configures an evaluation.
+type Options struct {
+	Cfg    sim.Config
+	Params kernels.Params
+	// Samples is the number of preemption points per kernel x technique,
+	// spread uniformly over the kernel's execution.
+	Samples int
+	// FillDevice sizes each kernel's grid to occupy every SM fully (one
+	// wave), like the paper's persistent-thread batch jobs.
+	FillDevice bool
+	// Verify re-runs every preempted execution to completion and checks
+	// the output against the CPU golden reference.
+	Verify    bool
+	MaxCycles int64
+}
+
+// DefaultOptions is the configuration used for EXPERIMENTS.md.
+func DefaultOptions() Options {
+	cfg := sim.DefaultConfig()
+	return Options{
+		Cfg:        cfg,
+		Params:     kernels.EvalParams(),
+		Samples:    5,
+		FillDevice: true,
+		Verify:     true,
+		MaxCycles:  2_000_000_000,
+	}
+}
+
+// QuickOptions is a reduced configuration for benchmarks and smoke runs.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Samples = 2
+	o.Verify = false
+	p := kernels.TestParams()
+	o.Params = p
+	o.FillDevice = false
+	o.Cfg = sim.TestConfig()
+	return o
+}
+
+// prepared bundles a sized workload with its golden run length.
+type prepared struct {
+	wl           *kernels.Workload
+	goldenCycles int64
+}
+
+// prepare sizes the workload grid (optionally filling the device) and
+// measures the uninterrupted run.
+func (o *Options) prepare(factory kernels.Factory) (*prepared, error) {
+	wl, err := factory(o.Params)
+	if err != nil {
+		return nil, err
+	}
+	if o.FillDevice {
+		d, err := sim.NewDevice(o.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		occ, err := d.ComputeOccupancy(wl.Prog, o.Params.WarpsPerBlock)
+		if err != nil {
+			return nil, err
+		}
+		p := o.Params
+		p.NumBlocks = occ.BlocksPerSM * o.Cfg.NumSMs
+		wl, err = factory(p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d, err := sim.NewDevice(o.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := wl.Launch(d); err != nil {
+		return nil, fmt.Errorf("%s: %w", wl.Abbrev, err)
+	}
+	if err := d.Run(o.MaxCycles); err != nil {
+		return nil, fmt.Errorf("%s golden: %w", wl.Abbrev, err)
+	}
+	if o.Verify {
+		if err := wl.Verify(d); err != nil {
+			return nil, fmt.Errorf("%s golden verify: %w", wl.Abbrev, err)
+		}
+	}
+	return &prepared{wl: wl, goldenCycles: d.Now()}, nil
+}
+
+// EpisodeStats is one measured preemption episode.
+type EpisodeStats struct {
+	PreemptCycles int64
+	ResumeCycles  int64
+	SavedBytes    int64
+	Victims       int
+}
+
+// measure preempts SM 0 at signalCycle under the technique, resumes
+// immediately after the save completes, and (optionally) verifies the
+// completed run. ok=false when the kernel drained before the signal.
+func (o *Options) measure(p *prepared, kind preempt.Kind, signalCycle int64) (EpisodeStats, bool, error) {
+	tech, err := preempt.New(kind, p.wl.Prog)
+	if err != nil {
+		return EpisodeStats{}, false, fmt.Errorf("%s/%v: %w", p.wl.Abbrev, kind, err)
+	}
+	d, err := sim.NewDevice(o.Cfg)
+	if err != nil {
+		return EpisodeStats{}, false, err
+	}
+	d.AttachRuntime(tech)
+	launch, err := p.wl.Launch(d)
+	if err != nil {
+		return EpisodeStats{}, false, err
+	}
+	if err := d.RunUntil(func() bool { return d.Now() >= signalCycle }, o.MaxCycles); err != nil {
+		return EpisodeStats{}, false, err
+	}
+	if launch.Done() {
+		return EpisodeStats{}, false, nil
+	}
+	ep, err := d.Preempt(0, tech)
+	if err != nil {
+		return EpisodeStats{}, false, nil // SM 0 drained
+	}
+	if err := d.RunUntil(ep.Saved, o.MaxCycles); err != nil {
+		return EpisodeStats{}, false, fmt.Errorf("%s/%v save: %w", p.wl.Abbrev, kind, err)
+	}
+	if err := d.Resume(ep); err != nil {
+		return EpisodeStats{}, false, err
+	}
+	if err := d.RunUntil(ep.Finished, o.MaxCycles); err != nil {
+		return EpisodeStats{}, false, fmt.Errorf("%s/%v resume: %w", p.wl.Abbrev, kind, err)
+	}
+	stats := EpisodeStats{
+		PreemptCycles: ep.PreemptLatencyCycles(),
+		ResumeCycles:  ep.ResumeCycles(),
+		SavedBytes:    ep.SavedBytes(),
+		Victims:       len(ep.Victims),
+	}
+	if o.Verify {
+		if err := d.Run(o.MaxCycles); err != nil {
+			return stats, true, fmt.Errorf("%s/%v completion: %w", p.wl.Abbrev, kind, err)
+		}
+		if err := p.wl.Verify(d); err != nil {
+			return stats, true, fmt.Errorf("%s/%v output corrupted by preemption: %w", p.wl.Abbrev, kind, err)
+		}
+	}
+	return stats, true, nil
+}
+
+// samplePoints spreads n signal cycles over (0.15, 0.85) of the golden
+// run, avoiding the ramp-up and drain phases.
+func samplePoints(golden int64, n int) []int64 {
+	if n < 1 {
+		n = 1
+	}
+	pts := make([]int64, n)
+	lo, hi := 0.15, 0.85
+	for i := range pts {
+		f := lo
+		if n > 1 {
+			f = lo + (hi-lo)*float64(i)/float64(n-1)
+		} else {
+			f = 0.5
+		}
+		pts[i] = int64(f * float64(golden))
+	}
+	return pts
+}
+
+// measureAvg averages episode stats over the sample points.
+func (o *Options) measureAvg(p *prepared, kind preempt.Kind) (EpisodeStats, error) {
+	pts := samplePoints(p.goldenCycles, o.Samples)
+	var sum EpisodeStats
+	count := 0
+	for _, pt := range pts {
+		st, ok, err := o.measure(p, kind, pt)
+		if err != nil {
+			return EpisodeStats{}, err
+		}
+		if !ok {
+			continue
+		}
+		sum.PreemptCycles += st.PreemptCycles
+		sum.ResumeCycles += st.ResumeCycles
+		sum.SavedBytes += st.SavedBytes
+		sum.Victims += st.Victims
+		count++
+	}
+	if count == 0 {
+		return EpisodeStats{}, fmt.Errorf("%s/%v: no sample point hit a running SM", p.wl.Abbrev, kind)
+	}
+	sum.PreemptCycles /= int64(count)
+	sum.ResumeCycles /= int64(count)
+	sum.SavedBytes /= int64(count)
+	sum.Victims /= count
+	return sum, nil
+}
+
+// runtimeCycles measures full-kernel execution with (or without) a
+// technique's instrumentation attached — the Fig 10 runtime overhead.
+func (o *Options) runtimeCycles(p *prepared, kind preempt.Kind, attach bool) (int64, error) {
+	d, err := sim.NewDevice(o.Cfg)
+	if err != nil {
+		return 0, err
+	}
+	if attach {
+		tech, err := preempt.New(kind, p.wl.Prog)
+		if err != nil {
+			return 0, err
+		}
+		d.AttachRuntime(tech)
+	}
+	if _, err := p.wl.Launch(d); err != nil {
+		return 0, err
+	}
+	if err := d.Run(o.MaxCycles); err != nil {
+		return 0, err
+	}
+	if o.Verify {
+		if err := p.wl.Verify(d); err != nil {
+			return 0, fmt.Errorf("%s/%v instrumented run corrupted output: %w", p.wl.Abbrev, kind, err)
+		}
+	}
+	return d.Now(), nil
+}

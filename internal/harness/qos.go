@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctxback/internal/kernels"
+	"ctxback/internal/preempt"
+)
+
+// QoSRow summarizes the waiting-time distribution one technique imposes
+// on incoming latency-sensitive jobs for one kernel: the paper's §I
+// motivation is that the *tail* of this distribution, not just the mean,
+// determines whether QoS guarantees hold.
+type QoSRow struct {
+	Kind                 preempt.Kind
+	MeanUs, P95Us, MaxUs float64
+	ResumeMeanUs         float64
+}
+
+// QoSResult is the distribution study for one victim kernel.
+type QoSResult struct {
+	Abbrev  string
+	Samples int
+	Rows    []QoSRow
+}
+
+// WaitDistribution preempts the kernel at n points spread across its
+// whole runtime and reports the preemption-latency distribution per
+// technique. Unlike Fig 8 (means, normalized), this surfaces the tail.
+func WaitDistribution(o Options, abbrev string, n int) (*QoSResult, error) {
+	var factory kernels.Factory
+	for _, f := range kernels.Registry() {
+		wl, err := f(o.Params)
+		if err != nil {
+			return nil, err
+		}
+		if wl.Abbrev == abbrev {
+			factory = f
+			break
+		}
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("harness: unknown benchmark %q", abbrev)
+	}
+	p, err := o.prepare(factory)
+	if err != nil {
+		return nil, err
+	}
+	res := &QoSResult{Abbrev: abbrev, Samples: n}
+	for _, kind := range preempt.ExtendedKinds() {
+		if _, err := preempt.New(kind, p.wl.Prog); err != nil {
+			continue // e.g. SM-flushing on a non-idempotent kernel
+		}
+		var waits, resumes []float64
+		for i := 0; i < n; i++ {
+			frac := 0.05 + 0.9*float64(i)/float64(max(n-1, 1))
+			st, ok, err := o.measure(p, kind, int64(frac*float64(p.goldenCycles)))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			waits = append(waits, o.Cfg.CyclesToMicros(st.PreemptCycles))
+			resumes = append(resumes, o.Cfg.CyclesToMicros(st.ResumeCycles))
+		}
+		if len(waits) == 0 {
+			continue
+		}
+		sort.Float64s(waits)
+		row := QoSRow{
+			Kind:         kind,
+			MeanUs:       mean(waits),
+			P95Us:        percentile(waits, 0.95),
+			MaxUs:        waits[len(waits)-1],
+			ResumeMeanUs: mean(resumes),
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// RenderQoS formats the distribution table.
+func RenderQoS(r *QoSResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Waiting-time distribution on %s (%d arrival points)\n", r.Abbrev, r.Samples)
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s %14s\n", "technique", "mean us", "p95 us", "max us", "resume mean us")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 72))
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-18s %12.2f %12.2f %12.2f %14.2f\n",
+			row.Kind, row.MeanUs, row.P95Us, row.MaxUs, row.ResumeMeanUs)
+	}
+	return b.String()
+}

@@ -1,0 +1,237 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses the textual assembly dialect produced by
+// Program.Disassemble (labels may be symbolic) and returns the program.
+//
+// Grammar (line oriented; ';' or '#' starts a comment):
+//
+//	.kernel NAME        — program name
+//	.vregs N  .sregs N  .lds N
+//	LABEL:              — bind a label
+//	MNEMONIC operands   — operands comma separated: v3, s1, exec, vcc,
+//	                      scc, integer (0x.. ok), 1.5f (float32 bits),
+//	                      LABEL or @PC for branch targets.
+//	A trailing !noovf flags the instruction NoOverflow.
+func Assemble(src string) (*Program, error) {
+	b := &asmState{
+		prog: Program{Labels: make(map[string]int)},
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := b.line(raw); err != nil {
+			return nil, fmt.Errorf("asm line %d: %w", lineNo+1, err)
+		}
+	}
+	for _, f := range b.fixups {
+		pc, ok := b.prog.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		b.prog.Instrs[f.pc].Target = pc
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &b.prog, nil
+}
+
+type asmState struct {
+	prog   Program
+	fixups []fixup
+}
+
+func (a *asmState) line(raw string) error {
+	line := raw
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.directive(line)
+	}
+	// "NNN:" PC prefixes from Disassemble and "label:" bindings.
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		head := strings.TrimSpace(line[:i])
+		if strings.ContainsAny(head, " \t,") {
+			return fmt.Errorf("malformed label %q", head)
+		}
+		if _, err := strconv.Atoi(head); err != nil {
+			if _, dup := a.prog.Labels[head]; dup {
+				return fmt.Errorf("duplicate label %q", head)
+			}
+			a.prog.Labels[head] = len(a.prog.Instrs)
+		}
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	return a.instr(line)
+}
+
+func (a *asmState) directive(line string) error {
+	fields := strings.Fields(line)
+	key := fields[0]
+	arg := ""
+	if len(fields) > 1 {
+		arg = fields[1]
+	}
+	num := func() (int, error) {
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return 0, fmt.Errorf("%s needs an integer argument, got %q", key, arg)
+		}
+		return n, nil
+	}
+	var err error
+	switch key {
+	case ".kernel":
+		a.prog.Name = arg
+	case ".vregs":
+		a.prog.NumVRegs, err = num()
+	case ".sregs":
+		a.prog.NumSRegs, err = num()
+	case ".lds":
+		a.prog.LDSBytes, err = num()
+	default:
+		return fmt.Errorf("unknown directive %q", key)
+	}
+	return err
+}
+
+func (a *asmState) instr(line string) error {
+	noOvf := false
+	if i := strings.Index(line, "!noovf"); i >= 0 {
+		noOvf = true
+		line = strings.TrimSpace(line[:i] + line[i+len("!noovf"):])
+	}
+	mnemonic := line
+	rest := ""
+	if i := strings.IndexAny(line, " \t"); i >= 0 {
+		mnemonic, rest = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	op, ok := OpByName(mnemonic)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	info := op.Info()
+	in := Instruction{Op: op, NoOverflow: noOvf}
+
+	var toks []string
+	if rest != "" {
+		for _, t := range strings.Split(rest, ",") {
+			toks = append(toks, strings.TrimSpace(t))
+		}
+	}
+	i := 0
+	take := func() (string, error) {
+		if i >= len(toks) {
+			return "", fmt.Errorf("%s: missing operand %d", mnemonic, i)
+		}
+		t := toks[i]
+		i++
+		return t, nil
+	}
+	if info.HasDst {
+		t, err := take()
+		if err != nil {
+			return err
+		}
+		r, err := parseReg(t)
+		if err != nil {
+			return err
+		}
+		in.Dst = r
+	}
+	for s := 0; s < info.NumSrc; s++ {
+		t, err := take()
+		if err != nil {
+			return err
+		}
+		o, err := parseOperand(t)
+		if err != nil {
+			return err
+		}
+		in.Srcs[s] = o
+	}
+	if info.HasImm && i < len(toks) {
+		t, _ := take()
+		v, err := parseInt(t)
+		if err != nil {
+			return fmt.Errorf("%s: bad immediate %q: %v", mnemonic, t, err)
+		}
+		in.Imm0 = int32(v)
+	}
+	if info.HasTgt {
+		t, err := take()
+		if err != nil {
+			return err
+		}
+		if strings.HasPrefix(t, "@") {
+			v, err := parseInt(t[1:])
+			if err != nil {
+				return fmt.Errorf("%s: bad target %q: %v", mnemonic, t, err)
+			}
+			in.Target = int(v)
+		} else {
+			a.fixups = append(a.fixups, fixup{pc: len(a.prog.Instrs), label: t})
+		}
+	}
+	if i != len(toks) {
+		return fmt.Errorf("%s: %d extra operand(s)", mnemonic, len(toks)-i)
+	}
+	a.prog.Instrs = append(a.prog.Instrs, in)
+	return nil
+}
+
+func parseReg(t string) (Reg, error) {
+	switch t {
+	case "exec":
+		return Exec, nil
+	case "vcc":
+		return VCC, nil
+	case "scc":
+		return SCC, nil
+	}
+	if len(t) >= 2 && (t[0] == 'v' || t[0] == 's') {
+		if n, err := strconv.Atoi(t[1:]); err == nil && n >= 0 {
+			if t[0] == 'v' {
+				return V(n), nil
+			}
+			return S(n), nil
+		}
+	}
+	return Reg{}, fmt.Errorf("bad register %q", t)
+}
+
+func parseOperand(t string) (Operand, error) {
+	if r, err := parseReg(t); err == nil {
+		return R(r), nil
+	}
+	if strings.HasSuffix(t, "f") {
+		if f, err := strconv.ParseFloat(t[:len(t)-1], 32); err == nil {
+			return ImmF(float32(f)), nil
+		}
+	}
+	v, err := parseInt(t)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", t)
+	}
+	return Imm(int(v)), nil
+}
+
+func parseInt(t string) (int64, error) {
+	return strconv.ParseInt(t, 0, 64)
+}

@@ -1,0 +1,132 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	src := `
+.kernel demo
+.vregs 8
+.sregs 16
+.lds 256
+
+  s_mov s0, 4          ; counter
+loop:
+  v_add v1, v1, s0
+  v_gload v2, v3, 16
+  s_sub s0, s0, 1
+  s_cmp_gt s0, 0
+  s_cbranch_scc1 loop
+  s_endpgm
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "demo" || p.NumVRegs != 8 || p.NumSRegs != 16 || p.LDSBytes != 256 {
+		t.Errorf("header: %+v", p)
+	}
+	if p.Len() != 7 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if p.Instrs[2].Op != VGLoad || p.Instrs[2].Imm0 != 16 {
+		t.Errorf("gload = %s", p.Instrs[2].String())
+	}
+	if p.Instrs[5].Target != 1 {
+		t.Errorf("branch target = %d, want 1", p.Instrs[5].Target)
+	}
+}
+
+func TestAssembleFloatAndHexImmediates(t *testing.T) {
+	src := `
+.kernel imms
+.vregs 4
+.sregs 16
+  v_mov v0, 1.5f
+  v_mov v1, 0x10
+  s_endpgm
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Instrs[0].Srcs[0].Imm; got != math.Float32bits(1.5) {
+		t.Errorf("float imm = %#x", got)
+	}
+	if got := int32(p.Instrs[1].Srcs[0].Imm); got != 16 {
+		t.Errorf("hex imm = %d", got)
+	}
+}
+
+func TestAssembleSpecialRegsAndNoOvf(t *testing.T) {
+	src := `
+.kernel spec
+.vregs 4
+.sregs 16
+  v_shl v0, v0, 2 !noovf
+  s_getexec s1
+  s_setexec s1
+  s_endpgm
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Instrs[0].NoOverflow {
+		t.Error("!noovf not parsed")
+	}
+	if p.Instrs[1].Op != SGetExec || p.Instrs[1].Dst != S(1) {
+		t.Errorf("getexec = %s", p.Instrs[1].String())
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", ".vregs 1\n frobnicate v0\n s_endpgm", "unknown mnemonic"},
+		{"unknown directive", ".bogus 3\n s_endpgm", "unknown directive"},
+		{"bad register", ".vregs 1\n v_mov q7, 1\n s_endpgm", "bad"},
+		{"missing operand", ".vregs 1\n v_add v0\n s_endpgm", "missing operand"},
+		{"undefined label", ".vregs 1\n s_branch nowhere\n s_endpgm", "undefined label"},
+		{"extra operand", ".vregs 1\n s_endpgm v0, v1", "extra operand"},
+		{"duplicate label", "x:\nx:\n s_endpgm", "duplicate label"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAssembleNumericPCPrefixIgnored(t *testing.T) {
+	src := `
+.kernel pcs
+.vregs 2
+.sregs 16
+   0:  v_mov v0, 1
+   1:  s_endpgm
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestAssembleAbsoluteTarget(t *testing.T) {
+	src := ".vregs 1\n s_branch @1\n s_endpgm"
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instrs[0].Target != 1 {
+		t.Errorf("target = %d", p.Instrs[0].Target)
+	}
+}

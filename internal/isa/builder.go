@@ -1,0 +1,143 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program incrementally with symbolic labels. All
+// errors are deferred to Build so kernels read as straight-line code.
+type Builder struct {
+	prog    Program
+	pending []fixup // branches awaiting label resolution
+	errs    []error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder starts a program with the given name and resource
+// declaration.
+func NewBuilder(name string, numVRegs, numSRegs, ldsBytes int) *Builder {
+	return &Builder{prog: Program{
+		Name:     name,
+		NumVRegs: numVRegs,
+		NumSRegs: numSRegs,
+		LDSBytes: ldsBytes,
+		Labels:   make(map[string]int),
+	}}
+}
+
+// PC returns the index the next emitted instruction will get.
+func (b *Builder) PC() int { return len(b.prog.Instrs) }
+
+// Label binds name to the current PC.
+func (b *Builder) Label(name string) {
+	if _, dup := b.prog.Labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	b.prog.Labels[name] = b.PC()
+}
+
+// Emit appends a fully formed instruction.
+func (b *Builder) Emit(in Instruction) *Builder {
+	b.prog.Instrs = append(b.prog.Instrs, in)
+	return b
+}
+
+// I emits op with a destination (if the opcode has one) followed by its
+// sources. Registers may be passed as Reg (auto-wrapped) via R().
+func (b *Builder) I(op Op, ops ...Operand) *Builder {
+	info := op.Info()
+	in := Instruction{Op: op}
+	i := 0
+	if info.HasDst {
+		if len(ops) == 0 || !ops[0].IsReg() {
+			b.errs = append(b.errs, fmt.Errorf("pc %d: %s needs a destination register", b.PC(), op))
+			return b.Emit(in)
+		}
+		in.Dst = ops[0].Reg
+		i = 1
+	}
+	for s := 0; s < info.NumSrc; s++ {
+		if i >= len(ops) {
+			b.errs = append(b.errs, fmt.Errorf("pc %d: %s missing source %d", b.PC(), op, s))
+			return b.Emit(in)
+		}
+		in.Srcs[s] = ops[i]
+		i++
+	}
+	if info.HasImm {
+		if i < len(ops) && ops[i].IsImm() {
+			in.Imm0 = int32(ops[i].Imm)
+			i++
+		}
+	}
+	if i != len(ops) {
+		b.errs = append(b.errs, fmt.Errorf("pc %d: %s has %d extra operand(s)", b.PC(), op, len(ops)-i))
+	}
+	return b.Emit(in)
+}
+
+// NoOvf emits like I but flags the instruction NoOverflow, making
+// shift-class instructions revertible (use on address arithmetic).
+func (b *Builder) NoOvf(op Op, ops ...Operand) *Builder {
+	b.I(op, ops...)
+	b.prog.Instrs[len(b.prog.Instrs)-1].NoOverflow = true
+	return b
+}
+
+// Space tags the most recently emitted instruction with a memory space
+// (buffer id >= 1) for alias analysis.
+func (b *Builder) Space(id int) *Builder {
+	if n := len(b.prog.Instrs); n > 0 {
+		b.prog.Instrs[n-1].MemSpace = int16(id)
+	}
+	return b
+}
+
+// Comment attaches a comment to the most recently emitted instruction.
+func (b *Builder) Comment(c string) *Builder {
+	if n := len(b.prog.Instrs); n > 0 {
+		b.prog.Instrs[n-1].Comment = c
+	}
+	return b
+}
+
+// Branch emits a control-flow op targeting label (resolved at Build).
+func (b *Builder) Branch(op Op, label string) *Builder {
+	if !op.Info().HasTgt {
+		b.errs = append(b.errs, fmt.Errorf("pc %d: %s takes no branch target", b.PC(), op))
+	}
+	b.pending = append(b.pending, fixup{pc: b.PC(), label: label})
+	return b.Emit(Instruction{Op: op})
+}
+
+// Build resolves labels, validates, and returns the finished program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.pending {
+		pc, ok := b.prog.Labels[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("pc %d: undefined label %q", f.pc, f.label))
+			continue
+		}
+		b.prog.Instrs[f.pc].Target = pc
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("program %q: %d build error(s), first: %w", b.prog.Name, len(b.errs), b.errs[0])
+	}
+	if err := b.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &b.prog, nil
+}
+
+// MustBuild is Build that panics on error; kernels in internal/kernels
+// are static and verified by tests, so construction failure is a bug.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

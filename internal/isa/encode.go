@@ -1,0 +1,190 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Binary program encoding. The paper's runtime transfers kernel code and
+// the dedicated preemption routines to device memory (§IV-A); this fixed
+// 40-byte-per-instruction format is the concrete representation the
+// simulator's host side uses for that transfer, and what the routine
+// size/sharing statistics are computed from.
+//
+// Layout (little endian):
+//
+//	header:  magic "CTXB" | version u16 | nameLen u16 | name bytes |
+//	         numVRegs u32 | numSRegs u32 | ldsBytes u32 | nInstr u32
+//	instr:   op u16 | flags u8 | memSpace i8 |
+//	         dst u32 | imm0 i32 | target i32 |
+//	         3 x (kind u8, pad u8[3], payload u32)
+const (
+	encMagic       = "CTXB"
+	encVersion     = 1
+	InstrWordBytes = 40
+)
+
+const (
+	flagNoOverflow = 1 << 0
+)
+
+func encodeReg(r Reg) uint32 { return uint32(r.Class)<<16 | uint32(r.Index) }
+
+func decodeReg(v uint32) Reg {
+	return Reg{Class: RegClass(v >> 16), Index: uint16(v & 0xFFFF)}
+}
+
+// EncodeProgram serializes p.
+func EncodeProgram(p *Program) []byte {
+	var b []byte
+	b = append(b, encMagic...)
+	b = binary.LittleEndian.AppendUint16(b, encVersion)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(p.Name)))
+	b = append(b, p.Name...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.NumVRegs))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.NumSRegs))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.LDSBytes))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p.Instrs)))
+	for i := range p.Instrs {
+		b = appendInstr(b, &p.Instrs[i])
+	}
+	return b
+}
+
+// EncodeRoutine serializes a bare instruction sequence (a dedicated
+// preemption or resume routine). Used for transfer-size accounting.
+func EncodeRoutine(instrs []Instruction) []byte {
+	var b []byte
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(instrs)))
+	for i := range instrs {
+		b = appendInstr(b, &instrs[i])
+	}
+	return b
+}
+
+func appendInstr(b []byte, in *Instruction) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(in.Op))
+	var flags uint8
+	if in.NoOverflow {
+		flags |= flagNoOverflow
+	}
+	b = append(b, flags, uint8(in.MemSpace))
+	b = binary.LittleEndian.AppendUint32(b, encodeReg(in.Dst))
+	b = binary.LittleEndian.AppendUint32(b, uint32(in.Imm0))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(in.Target)))
+	for s := 0; s < MaxSrcs; s++ {
+		b = append(b, uint8(in.Srcs[s].Kind), 0, 0, 0)
+		payload := in.Srcs[s].Imm
+		if in.Srcs[s].Kind == OperandReg {
+			payload = encodeReg(in.Srcs[s].Reg)
+		}
+		b = binary.LittleEndian.AppendUint32(b, payload)
+	}
+	return b
+}
+
+// DecodeProgram parses an EncodeProgram buffer.
+func DecodeProgram(data []byte) (*Program, error) {
+	r := &reader{data: data}
+	if magic := string(r.bytes(4)); magic != encMagic {
+		return nil, fmt.Errorf("isa: bad magic %q", magic)
+	}
+	if v := r.u16(); v != encVersion {
+		return nil, fmt.Errorf("isa: unsupported version %d", v)
+	}
+	nameLen := int(r.u16())
+	name := string(r.bytes(nameLen))
+	p := &Program{
+		Name:     name,
+		NumVRegs: int(r.u32()),
+		NumSRegs: int(r.u32()),
+		LDSBytes: int(r.u32()),
+		Labels:   map[string]int{},
+	}
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("isa: implausible instruction count %d", n)
+	}
+	p.Instrs = make([]Instruction, n)
+	for i := 0; i < n; i++ {
+		if err := readInstr(r, &p.Instrs[i]); err != nil {
+			return nil, fmt.Errorf("isa: instr %d: %w", i, err)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("isa: decoded program invalid: %w", err)
+	}
+	return p, nil
+}
+
+func readInstr(r *reader, in *Instruction) error {
+	op := Op(r.u16())
+	if op == OpInvalid || op >= opCount {
+		return fmt.Errorf("bad opcode %d", op)
+	}
+	in.Op = op
+	flags := r.u8()
+	in.NoOverflow = flags&flagNoOverflow != 0
+	in.MemSpace = int16(int8(r.u8()))
+	in.Dst = decodeReg(r.u32())
+	in.Imm0 = int32(r.u32())
+	in.Target = int(int32(r.u32()))
+	for s := 0; s < MaxSrcs; s++ {
+		kind := OperandKind(r.u8())
+		r.bytes(3)
+		payload := r.u32()
+		switch kind {
+		case OperandNone:
+			in.Srcs[s] = Operand{}
+		case OperandReg:
+			in.Srcs[s] = Operand{Kind: OperandReg, Reg: decodeReg(payload)}
+		case OperandImm:
+			in.Srcs[s] = Operand{Kind: OperandImm, Imm: payload}
+		default:
+			return fmt.Errorf("bad operand kind %d", kind)
+		}
+	}
+	return r.err
+}
+
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || r.off+n > len(r.data) {
+		if r.err == nil {
+			r.err = fmt.Errorf("isa: truncated at offset %d", r.off)
+		}
+		return make([]byte, n)
+	}
+	out := r.data[r.off : r.off+n]
+	r.off += n
+	return out
+}
+
+func (r *reader) u8() uint8   { return r.bytes(1)[0] }
+func (r *reader) u16() uint16 { return binary.LittleEndian.Uint16(r.bytes(2)) }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+
+// RoutineBytes returns the device-memory footprint of a routine when
+// transferred (paper §IV-A's storage-cost accounting).
+func RoutineBytes(instrs []Instruction) int { return 4 + len(instrs)*InstrWordBytes }
+
+// FormatRoutine renders a routine for human inspection.
+func FormatRoutine(instrs []Instruction) string {
+	var b strings.Builder
+	for i := range instrs {
+		fmt.Fprintf(&b, "%4d:  %s\n", i, instrs[i].String())
+	}
+	return b.String()
+}

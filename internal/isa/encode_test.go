@@ -1,0 +1,112 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := testProgram(t)
+	data := EncodeProgram(p)
+	q, err := DecodeProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != p.Name || q.NumVRegs != p.NumVRegs || q.NumSRegs != p.NumSRegs || q.LDSBytes != p.LDSBytes {
+		t.Fatalf("header mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.Instrs) != len(p.Instrs) {
+		t.Fatalf("instr count %d vs %d", len(q.Instrs), len(p.Instrs))
+	}
+	for i := range p.Instrs {
+		a, b := p.Instrs[i], q.Instrs[i]
+		a.Comment, b.Comment = "", "" // comments are not serialized
+		if a != b {
+			t.Errorf("instr %d: %s vs %s", i, a.String(), b.String())
+		}
+	}
+}
+
+func TestEncodeDecodeRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for it := 0; it < 50; it++ {
+		b := NewBuilder("rnd", 8, 16, 0)
+		n := 3 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				b.I(VAdd, R(V(rng.Intn(8))), R(V(rng.Intn(8))), Imm(rng.Intn(1000)-500))
+			case 1:
+				b.NoOvf(VShl, R(V(rng.Intn(8))), R(V(rng.Intn(8))), Imm(rng.Intn(8)))
+			case 2:
+				b.I(VGLoad, R(V(rng.Intn(8))), R(V(rng.Intn(8))), Imm(rng.Intn(64)*4)).Space(rng.Intn(3) + 1)
+			case 3:
+				b.I(SMov, R(S(rng.Intn(16))), ImmF(rng.Float32()))
+			case 4:
+				b.I(VMadF, R(V(rng.Intn(8))), R(V(rng.Intn(8))), R(V(rng.Intn(8))), R(V(rng.Intn(8))))
+			}
+		}
+		b.I(SEndpgm)
+		p := b.MustBuild()
+		q, err := DecodeProgram(EncodeProgram(p))
+		if err != nil {
+			t.Fatalf("iter %d: %v", it, err)
+		}
+		for i := range p.Instrs {
+			if p.Instrs[i] != q.Instrs[i] {
+				t.Fatalf("iter %d instr %d mismatch", it, i)
+			}
+		}
+		// Re-encoding the decode must be byte-identical (canonical form).
+		if !bytes.Equal(EncodeProgram(p), EncodeProgram(q)) {
+			t.Fatalf("iter %d: re-encode differs", it)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	p := testProgram(t)
+	good := EncodeProgram(p)
+
+	if _, err := DecodeProgram(good[:8]); err == nil {
+		t.Error("truncated buffer must fail")
+	}
+	bad := append([]byte(nil), good...)
+	copy(bad, "XXXX")
+	if _, err := DecodeProgram(bad); err == nil {
+		t.Error("bad magic must fail")
+	}
+	bad2 := append([]byte(nil), good...)
+	bad2[4] = 0xFF // version
+	if _, err := DecodeProgram(bad2); err == nil {
+		t.Error("bad version must fail")
+	}
+	// Corrupt an opcode beyond the table: decoded program must be
+	// rejected rather than executed.
+	bad3 := append([]byte(nil), good...)
+	hdr := 4 + 2 + 2 + len(p.Name) + 16
+	bad3[hdr] = 0xFF
+	bad3[hdr+1] = 0xFF
+	if _, err := DecodeProgram(bad3); err == nil {
+		t.Error("bad opcode must fail")
+	}
+}
+
+func TestRoutineEncoding(t *testing.T) {
+	instrs := []Instruction{
+		{Op: CtxSaveV, Srcs: [MaxSrcs]Operand{R(V(3))}, Imm0: 2},
+		{Op: CtxSavePC, Target: 17},
+		{Op: CtxExit},
+	}
+	if got, want := RoutineBytes(instrs), 4+3*InstrWordBytes; got != want {
+		t.Errorf("RoutineBytes = %d, want %d", got, want)
+	}
+	data := EncodeRoutine(instrs)
+	if len(data) != RoutineBytes(instrs) {
+		t.Errorf("encoded %d bytes, accounting says %d", len(data), RoutineBytes(instrs))
+	}
+	if s := FormatRoutine(instrs); !bytes.Contains([]byte(s), []byte("ctx_save_v")) {
+		t.Errorf("FormatRoutine output: %q", s)
+	}
+}

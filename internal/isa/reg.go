@@ -1,0 +1,229 @@
+// Package isa defines a compact SIMT instruction set modeled on GCN-style
+// GPU assembly: per-warp scalar registers, per-lane vector registers, an
+// EXEC mask, LDS (shared memory), and global device memory. It is the
+// common representation consumed by the compiler analyses in
+// internal/cfg, internal/liveness and internal/core, and executed by the
+// simulator in internal/sim.
+package isa
+
+import "fmt"
+
+// WarpSize is the number of lanes per warp (GCN wavefront size).
+const WarpSize = 64
+
+// RegClass distinguishes the register files.
+type RegClass uint8
+
+const (
+	// RegNone marks an absent register (zero value).
+	RegNone RegClass = iota
+	// RegScalar is a per-warp scalar register (4 bytes of architectural
+	// context per warp; held as 64 bits in the simulator).
+	RegScalar
+	// RegVector is a per-lane vector register (WarpSize x 4 bytes of
+	// context per warp).
+	RegVector
+	// RegSpecial is one of the architectural special registers (EXEC,
+	// VCC, SCC).
+	RegSpecial
+)
+
+func (c RegClass) String() string {
+	switch c {
+	case RegNone:
+		return "none"
+	case RegScalar:
+		return "scalar"
+	case RegVector:
+		return "vector"
+	case RegSpecial:
+		return "special"
+	}
+	return fmt.Sprintf("RegClass(%d)", uint8(c))
+}
+
+// Special register indices (Class == RegSpecial).
+const (
+	SpecExec = 0 // 64-bit execution mask
+	SpecVCC  = 1 // 64-bit vector condition code
+	SpecSCC  = 2 // 1-bit scalar condition code
+)
+
+// Reg identifies one architectural register.
+type Reg struct {
+	Class RegClass
+	Index uint16
+}
+
+// Convenience constructors.
+
+// S returns the scalar register s<i>.
+func S(i int) Reg { return Reg{Class: RegScalar, Index: uint16(i)} }
+
+// V returns the vector register v<i>.
+func V(i int) Reg { return Reg{Class: RegVector, Index: uint16(i)} }
+
+// Special registers.
+var (
+	Exec = Reg{Class: RegSpecial, Index: SpecExec}
+	VCC  = Reg{Class: RegSpecial, Index: SpecVCC}
+	SCC  = Reg{Class: RegSpecial, Index: SpecSCC}
+)
+
+// Valid reports whether r names a register (is not the zero Reg).
+func (r Reg) Valid() bool { return r.Class != RegNone }
+
+// IsVector reports whether r is a vector register.
+func (r Reg) IsVector() bool { return r.Class == RegVector }
+
+// IsScalar reports whether r is a scalar register.
+func (r Reg) IsScalar() bool { return r.Class == RegScalar }
+
+// ContextBytes is the number of bytes of per-warp context this register
+// contributes when saved to device memory. Scalar registers are
+// architecturally 4 bytes; vector registers hold 4 bytes per lane; the
+// 64-bit specials (EXEC, VCC) cost 8 and SCC costs 4.
+func (r Reg) ContextBytes() int {
+	switch r.Class {
+	case RegScalar:
+		return 4
+	case RegVector:
+		return 4 * WarpSize
+	case RegSpecial:
+		if r.Index == SpecSCC {
+			return 4
+		}
+		return 8
+	}
+	return 0
+}
+
+func (r Reg) String() string {
+	switch r.Class {
+	case RegScalar:
+		return fmt.Sprintf("s%d", r.Index)
+	case RegVector:
+		return fmt.Sprintf("v%d", r.Index)
+	case RegSpecial:
+		switch r.Index {
+		case SpecExec:
+			return "exec"
+		case SpecVCC:
+			return "vcc"
+		case SpecSCC:
+			return "scc"
+		}
+		return fmt.Sprintf("spec%d", r.Index)
+	}
+	return "r?"
+}
+
+// RegSet is a set of registers. The zero value is an empty, usable set.
+type RegSet map[Reg]struct{}
+
+// NewRegSet returns a set containing the given registers.
+func NewRegSet(regs ...Reg) RegSet {
+	s := make(RegSet, len(regs))
+	for _, r := range regs {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add inserts r.
+func (s RegSet) Add(r Reg) { s[r] = struct{}{} }
+
+// Remove deletes r.
+func (s RegSet) Remove(r Reg) { delete(s, r) }
+
+// Has reports membership.
+func (s RegSet) Has(r Reg) bool {
+	_, ok := s[r]
+	return ok
+}
+
+// AddAll inserts every register of o.
+func (s RegSet) AddAll(o RegSet) {
+	for r := range o {
+		s[r] = struct{}{}
+	}
+}
+
+// RemoveAll deletes every register of o.
+func (s RegSet) RemoveAll(o RegSet) {
+	for r := range o {
+		delete(s, r)
+	}
+}
+
+// Clone returns an independent copy.
+func (s RegSet) Clone() RegSet {
+	c := make(RegSet, len(s))
+	for r := range s {
+		c[r] = struct{}{}
+	}
+	return c
+}
+
+// Equal reports whether s and o contain the same registers.
+func (s RegSet) Equal(o RegSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for r := range s {
+		if !o.Has(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s and o share any register.
+func (s RegSet) Intersects(o RegSet) bool {
+	small, big := s, o
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for r := range small {
+		if big.Has(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContextBytes sums the context cost of every member.
+func (s RegSet) ContextBytes() int {
+	total := 0
+	for r := range s {
+		total += r.ContextBytes()
+	}
+	return total
+}
+
+// Sorted returns the members in a deterministic order (class, then index).
+func (s RegSet) Sorted() []Reg {
+	out := make([]Reg, 0, len(s))
+	for r := range s {
+		out = append(out, r)
+	}
+	sortRegs(out)
+	return out
+}
+
+func sortRegs(regs []Reg) {
+	// Insertion sort: sets are small and this avoids importing sort for a
+	// custom comparator in hot analysis paths.
+	for i := 1; i < len(regs); i++ {
+		for j := i; j > 0 && regLess(regs[j], regs[j-1]); j-- {
+			regs[j], regs[j-1] = regs[j-1], regs[j]
+		}
+	}
+}
+
+func regLess(a, b Reg) bool {
+	if a.Class != b.Class {
+		return a.Class < b.Class
+	}
+	return a.Index < b.Index
+}

@@ -1,0 +1,142 @@
+// Package liveness implements backward dataflow liveness analysis and
+// use-define chains over isa programs. CTXBack uses the per-instruction
+// live-in sets as the register context of each instruction (paper §III-A:
+// "an instruction's register context is just its live-in registers") and
+// the use-define chains to determine which instruction overwrote a
+// register.
+package liveness
+
+import (
+	"ctxback/internal/cfg"
+	"ctxback/internal/isa"
+)
+
+// Info holds the analysis results for one program.
+type Info struct {
+	Graph *cfg.Graph
+	// LiveIn[pc] is the set of registers live immediately before pc
+	// executes — the register context R of that instruction.
+	LiveIn []isa.RegSet
+	// LiveOut[pc] is the set of registers live immediately after pc.
+	LiveOut []isa.RegSet
+	// DefOf[pc][r] is the PC of the reaching definition of register r at
+	// the entry of pc, when that definition is unique and within pc's
+	// basic block; absent otherwise. This is the block-local use-define
+	// chain CTXBack walks.
+	DefOf []map[isa.Reg]int
+}
+
+// Analyze runs liveness and use-def analysis for g's program.
+func Analyze(g *cfg.Graph) *Info {
+	p := g.Prog
+	n := p.Len()
+	info := &Info{
+		Graph:   g,
+		LiveIn:  make([]isa.RegSet, n),
+		LiveOut: make([]isa.RegSet, n),
+		DefOf:   make([]map[isa.Reg]int, n),
+	}
+
+	// Pre-compute per-instruction use/def sets.
+	uses := make([]isa.RegSet, n)
+	defs := make([]isa.RegSet, n)
+	for pc := 0; pc < n; pc++ {
+		uses[pc] = p.At(pc).UseSet()
+		defs[pc] = p.At(pc).DefSet()
+	}
+
+	// Block-level gen/kill.
+	nb := len(g.Blocks)
+	blockIn := make([]isa.RegSet, nb)
+	blockOut := make([]isa.RegSet, nb)
+	for i := range blockIn {
+		blockIn[i] = make(isa.RegSet)
+		blockOut[i] = make(isa.RegSet)
+	}
+
+	// Iterate to fixpoint (reverse order speeds convergence).
+	changed := true
+	for changed {
+		changed = false
+		for bi := nb - 1; bi >= 0; bi-- {
+			b := &g.Blocks[bi]
+			out := make(isa.RegSet)
+			for _, s := range b.Succs {
+				out.AddAll(blockIn[s])
+			}
+			in := out.Clone()
+			for pc := b.End - 1; pc >= b.Start; pc-- {
+				in.RemoveAll(defs[pc])
+				in.AddAll(uses[pc])
+			}
+			if !out.Equal(blockOut[bi]) || !in.Equal(blockIn[bi]) {
+				changed = true
+				blockOut[bi] = out
+				blockIn[bi] = in
+			}
+		}
+	}
+
+	// Per-instruction sets from the block solutions.
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		live := blockOut[bi].Clone()
+		for pc := b.End - 1; pc >= b.Start; pc-- {
+			info.LiveOut[pc] = live.Clone()
+			live.RemoveAll(defs[pc])
+			live.AddAll(uses[pc])
+			info.LiveIn[pc] = live.Clone()
+		}
+	}
+
+	// Block-local use-define chains: forward scan recording the last
+	// definition of each register.
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		lastDef := make(map[isa.Reg]int)
+		for pc := b.Start; pc < b.End; pc++ {
+			m := make(map[isa.Reg]int, len(lastDef))
+			for r, d := range lastDef {
+				m[r] = d
+			}
+			info.DefOf[pc] = m
+			for r := range defs[pc] {
+				lastDef[r] = pc
+			}
+		}
+	}
+	return info
+}
+
+// Context returns the register context of the instruction at pc — its
+// live-in registers (a clone safe to mutate).
+func (in *Info) Context(pc int) isa.RegSet {
+	return in.LiveIn[pc].Clone()
+}
+
+// ContextBytes returns the byte size of pc's register context.
+func (in *Info) ContextBytes(pc int) int {
+	return in.LiveIn[pc].ContextBytes()
+}
+
+// LastDefIn returns the PC of the most recent definition of r before pc
+// within pc's basic block; ok=false when r has no in-block definition
+// before pc (its value flows in from outside the block).
+func (in *Info) LastDefIn(pc int, r isa.Reg) (def int, ok bool) {
+	def, ok = in.DefOf[pc][r]
+	return def, ok
+}
+
+// MinContextPC returns the PC with the smallest live-in context within
+// [start, end) along with that context's byte size. It is the "minimum
+// possible context size" reference the paper attributes to CKPT.
+func (in *Info) MinContextPC(start, end int) (pc, bytes int) {
+	pc = start
+	bytes = in.ContextBytes(start)
+	for i := start + 1; i < end; i++ {
+		if b := in.ContextBytes(i); b < bytes {
+			pc, bytes = i, b
+		}
+	}
+	return pc, bytes
+}

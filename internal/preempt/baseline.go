@@ -1,0 +1,100 @@
+package preempt
+
+import (
+	"ctxback/internal/cfg"
+	"ctxback/internal/isa"
+	"ctxback/internal/liveness"
+	"ctxback/internal/sim"
+)
+
+// baselineTech models the Linux AMDGPU driver context-switch routine: it
+// swaps every allocated on-chip register (including alignment padding)
+// regardless of liveness.
+type baselineTech struct {
+	prog *isa.Program
+	all  isa.RegSet
+}
+
+// NewBaseline compiles the BASELINE technique.
+func NewBaseline(prog *isa.Program) (Technique, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	all := make(isa.RegSet)
+	for i := 0; i < prog.AllocatedVRegs(); i++ {
+		all.Add(isa.V(i))
+	}
+	for i := 0; i < prog.AllocatedSRegs(); i++ {
+		all.Add(isa.S(i))
+	}
+	all.Add(isa.Exec)
+	all.Add(isa.VCC)
+	all.Add(isa.SCC)
+	return &baselineTech{prog: prog, all: all}, nil
+}
+
+func (t *baselineTech) Kind() Kind   { return Baseline }
+func (t *baselineTech) Name() string { return Baseline.String() }
+
+func (t *baselineTech) PreemptRoutine(w *sim.Warp) []isa.Instruction {
+	return finishPreempt(w, saveSet(t.all), w.PC)
+}
+
+func (t *baselineTech) ResumeRoutine(w *sim.Warp) ([]isa.Instruction, *sim.SavedContext) {
+	return finishResume(w, loadSet(t.all), w.Ctx().PC), nil
+}
+
+func (t *baselineTech) Hook(w *sim.Warp, pc int) ([]isa.Instruction, *sim.SavedContext) {
+	return nil, nil
+}
+
+func (t *baselineTech) StaticContextBytes(pc int) int { return t.all.ContextBytes() }
+
+func (t *baselineTech) EstPreemptCycles(pc int) int64 {
+	return estTrafficCycles(t.StaticContextBytes(pc))
+}
+
+// liveTech swaps only the registers live at the preempted PC [4].
+type liveTech struct {
+	prog *isa.Program
+	live *liveness.Info
+}
+
+// NewLive compiles the LIVE technique.
+func NewLive(prog *isa.Program) (Technique, error) {
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &liveTech{prog: prog, live: liveness.Analyze(g)}, nil
+}
+
+func (t *liveTech) Kind() Kind   { return Live }
+func (t *liveTech) Name() string { return Live.String() }
+
+// contextAt is the live register context plus EXEC (the hardware always
+// needs a correct mask to resume).
+func (t *liveTech) contextAt(pc int) isa.RegSet {
+	regs := t.live.Context(pc)
+	regs.Add(isa.Exec)
+	return regs
+}
+
+func (t *liveTech) PreemptRoutine(w *sim.Warp) []isa.Instruction {
+	return finishPreempt(w, saveSet(t.contextAt(w.PC)), w.PC)
+}
+
+func (t *liveTech) ResumeRoutine(w *sim.Warp) ([]isa.Instruction, *sim.SavedContext) {
+	pc := w.Ctx().PC
+	return finishResume(w, loadSet(t.contextAt(pc)), pc), nil
+}
+
+func (t *liveTech) Hook(w *sim.Warp, pc int) ([]isa.Instruction, *sim.SavedContext) {
+	return nil, nil
+}
+
+func (t *liveTech) StaticContextBytes(pc int) int { return t.contextAt(pc).ContextBytes() }
+
+func (t *liveTech) EstPreemptCycles(pc int) int64 {
+	return estTrafficCycles(t.StaticContextBytes(pc))
+}

@@ -1,0 +1,166 @@
+package preempt
+
+import (
+	"ctxback/internal/cfg"
+	"ctxback/internal/isa"
+	"ctxback/internal/liveness"
+	"ctxback/internal/sim"
+)
+
+// DefaultCkptInterval is the paper's checkpoint interval: every 16th
+// execution of the same basic block (§V-C).
+const DefaultCkptInterval = 16
+
+// ckptTech adapts checkpoint-based GPU fault-tolerance mechanisms
+// ([5],[6]) to context switching: during normal execution each warp
+// periodically snapshots the live context at its block's minimum-context
+// point; preemption just drops the warp; resume restores the last
+// snapshot and replays forward.
+//
+// Idempotence handling: a snapshot is forced right after every atomic
+// and barrier (replaying across either would be incorrect), mirroring
+// how the original mechanisms restrict checkpoints to idempotent-region
+// boundaries.
+type ckptTech struct {
+	prog     *isa.Program
+	live     *liveness.Info
+	interval int
+
+	// site[blockID] is the PC with the smallest live-in context in that
+	// block; siteOf[pc] is a reverse lookup.
+	site   map[int]int
+	siteOf map[int]bool
+	forced map[int]bool // PCs requiring an unconditional snapshot
+
+	// Per-run mutable state.
+	visits map[int]map[int]int // warp id -> site pc -> visit count
+	last   map[int]*sim.SavedContext
+}
+
+// NewCKPT compiles the CKPT technique with the given block-execution
+// interval.
+func NewCKPT(prog *isa.Program, interval int) (Technique, error) {
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	live := liveness.Analyze(g)
+	t := &ckptTech{
+		prog: prog, live: live, interval: interval,
+		site:   make(map[int]int),
+		siteOf: make(map[int]bool),
+		forced: make(map[int]bool),
+		visits: make(map[int]map[int]int),
+		last:   make(map[int]*sim.SavedContext),
+	}
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		pc, _ := live.MinContextPC(b.Start, b.End)
+		t.site[b.ID] = pc
+		// Blocks that write LDS get no periodic site: a snapshot taken
+		// between a cross-warp LDS write and its consuming barrier could
+		// capture a cut where the producer never replays (the classic
+		// consistent-checkpoint problem). Such blocks rely on checkpoint
+		// 0 and the forced post-barrier snapshots instead.
+		writesLDS := false
+		for i := b.Start; i < b.End; i++ {
+			if prog.At(i).Op == isa.VLStore {
+				writesLDS = true
+				break
+			}
+		}
+		if !writesLDS {
+			t.siteOf[pc] = true
+		}
+	}
+	for pc := 0; pc < prog.Len(); pc++ {
+		in := prog.At(pc)
+		if (in.Op.Info().Class == isa.ClassAtomic || in.Op == isa.SBarrier) && pc+1 < prog.Len() {
+			t.forced[pc+1] = true
+		}
+	}
+	return t, nil
+}
+
+func (t *ckptTech) Kind() Kind   { return Ckpt }
+func (t *ckptTech) Name() string { return Ckpt.String() }
+
+// snapshotRegs is the context captured at pc.
+func (t *ckptTech) snapshotRegs(pc int) isa.RegSet {
+	regs := t.live.Context(pc)
+	regs.Add(isa.Exec)
+	regs.Add(isa.VCC)
+	regs.Add(isa.SCC)
+	return regs
+}
+
+func (t *ckptTech) Hook(w *sim.Warp, pc int) ([]isa.Instruction, *sim.SavedContext) {
+	if w.Prog != t.prog {
+		// Another kernel sharing the device; its warps are not ours to
+		// checkpoint (warp IDs restart per launch).
+		return nil, nil
+	}
+	take := false
+	switch {
+	case t.last[w.ID] == nil:
+		// Implicit checkpoint 0 at the first instruction the warp issues.
+		take = true
+	case t.forced[pc]:
+		take = true
+	case t.siteOf[pc]:
+		if t.visits[w.ID] == nil {
+			t.visits[w.ID] = make(map[int]int)
+		}
+		t.visits[w.ID][pc]++
+		take = t.visits[w.ID][pc]%t.interval == 1
+	}
+	if !take {
+		return nil, nil
+	}
+	buf := sim.NewSavedContext()
+	t.last[w.ID] = buf
+	body := saveSet(t.snapshotRegs(pc))
+	if t.prog.LDSBytes > 0 {
+		body = append(body, isa.Instruction{Op: isa.CtxSaveLDS})
+	}
+	body = append(body, isa.Instruction{Op: isa.CtxSavePC, Target: pc})
+	return body, buf
+}
+
+// PreemptRoutine: drop the warp — its context is already checkpointed.
+// A warp preempted before it could take its first snapshot falls back to
+// a live-context save (it has no checkpoint to replay from).
+func (t *ckptTech) PreemptRoutine(w *sim.Warp) []isa.Instruction {
+	if t.last[w.ID] == nil {
+		body := saveSet(t.snapshotRegs(w.PC))
+		return finishPreempt(w, body, w.PC)
+	}
+	return []isa.Instruction{{Op: isa.CtxExit}}
+}
+
+func (t *ckptTech) ResumeRoutine(w *sim.Warp) ([]isa.Instruction, *sim.SavedContext) {
+	ck := t.last[w.ID]
+	if ck == nil {
+		pc := w.Ctx().PC
+		return finishResume(w, loadSet(t.snapshotRegs(pc)), pc), nil
+	}
+	pc := ck.PC
+	var body []isa.Instruction
+	if t.prog.LDSBytes > 0 {
+		body = append(body, isa.Instruction{Op: isa.CtxLoadLDS})
+	}
+	body = append(body, loadSet(t.snapshotRegs(pc))...)
+	body = append(body, isa.Instruction{Op: isa.CtxResume, Target: pc})
+	return body, ck
+}
+
+// StaticContextBytes reports the checkpoint size for pc's block — the
+// paper's "minimum possible size" dashed line in Fig 7.
+func (t *ckptTech) StaticContextBytes(pc int) int {
+	// Find pc's block site via liveness graph.
+	b := t.live.Graph.BlockOf(pc)
+	return t.snapshotRegs(t.site[b.ID]).ContextBytes()
+}
+
+// EstPreemptCycles: dropping is nearly free.
+func (t *ckptTech) EstPreemptCycles(pc int) int64 { return estFixedCycles }

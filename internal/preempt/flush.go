@@ -1,0 +1,217 @@
+package preempt
+
+import (
+	"fmt"
+
+	"ctxback/internal/isa"
+	"ctxback/internal/sim"
+)
+
+// flushTech implements SM-flushing (Park et al., Chimera [11]; paper
+// §II-B): on a preemption signal the running warps are simply dropped —
+// nothing is saved beyond the warp's launch state — and resume restarts
+// them from the first instruction. Near-zero preemption latency, but all
+// completed work is wasted; the idempotence requirement is the whole
+// kernel (checked at compile time: flushing is refused for kernels whose
+// first region hazard would be replayed, e.g. the atomics in HS).
+type flushTech struct {
+	prog *isa.Program
+	// entryRegs is the context a restart needs: the kernel arguments in
+	// scalar registers plus EXEC.
+	entryRegs isa.RegSet
+	// entry[warpID] snapshots the warp's launch-time context, captured
+	// by the first Hook call.
+	entry map[int]*sim.SavedContext
+	// flushable reports whether restarting from scratch is sound: the
+	// kernel must contain no atomics (re-running one would double-apply).
+	flushable bool
+}
+
+// NewSMFlush compiles the SM-flushing technique. It refuses kernels
+// that violate the idempotence condition (atomics would be re-applied by
+// the restart).
+func NewSMFlush(prog *isa.Program) (Technique, error) {
+	t, err := newFlushTech(prog)
+	if err != nil {
+		return nil, err
+	}
+	if !t.flushable {
+		return nil, fmt.Errorf("preempt: kernel %q is not idempotent (contains atomics); SM-flushing is unsound", prog.Name)
+	}
+	return t, nil
+}
+
+func newFlushTech(prog *isa.Program) (*flushTech, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	flushable := true
+	for pc := 0; pc < prog.Len(); pc++ {
+		if prog.At(pc).Op.Info().Class == isa.ClassAtomic {
+			flushable = false
+			break
+		}
+	}
+	// The entry context is every register a warp needs at pc 0: its
+	// kernel arguments. Conservatively snapshot all scalar registers
+	// plus EXEC (vector registers start zeroed by the launch contract).
+	regs := make(isa.RegSet)
+	for i := 0; i < prog.NumSRegs; i++ {
+		regs.Add(isa.S(i))
+	}
+	regs.Add(isa.Exec)
+	return &flushTech{
+		prog:      prog,
+		entryRegs: regs,
+		entry:     make(map[int]*sim.SavedContext),
+		flushable: flushable,
+	}, nil
+}
+
+func (t *flushTech) Kind() Kind   { return SMFlush }
+func (t *flushTech) Name() string { return SMFlush.String() }
+
+// Flushable reports whether the kernel satisfies the (whole-kernel)
+// idempotence condition SM-flushing needs.
+func (t *flushTech) Flushable() bool { return t.flushable }
+
+// Hook captures the launch-time context at each warp's first
+// instruction; it costs a handful of scalar saves once per warp.
+func (t *flushTech) Hook(w *sim.Warp, pc int) ([]isa.Instruction, *sim.SavedContext) {
+	if w.Prog != t.prog || t.entry[w.ID] != nil {
+		return nil, nil
+	}
+	buf := sim.NewSavedContext()
+	t.entry[w.ID] = buf
+	body := saveSet(t.entryRegs)
+	body = append(body, isa.Instruction{Op: isa.CtxSavePC, Target: 0})
+	return body, buf
+}
+
+// PreemptRoutine: drop immediately. The vector state and LDS are
+// discarded — restarting regenerates them.
+func (t *flushTech) PreemptRoutine(w *sim.Warp) []isa.Instruction {
+	if t.entry[w.ID] == nil {
+		// Never issued an instruction: nothing to capture either; the
+		// resume falls back to a (tiny) live save at pc 0.
+		body := saveSet(t.entryRegs)
+		return finishPreempt(w, body, 0)
+	}
+	return []isa.Instruction{{Op: isa.CtxExit}}
+}
+
+func (t *flushTech) ResumeRoutine(w *sim.Warp) ([]isa.Instruction, *sim.SavedContext) {
+	ck := t.entry[w.ID]
+	if ck == nil {
+		return finishResume(w, loadSet(t.entryRegs), 0), nil
+	}
+	body := loadSet(t.entryRegs)
+	// Vector registers restart zeroed, matching the launch contract.
+	for i := 0; i < t.prog.NumVRegs; i++ {
+		body = append(body, isa.Instruction{Op: isa.VMov, Dst: isa.V(i),
+			Srcs: [isa.MaxSrcs]isa.Operand{isa.Imm(0)}})
+	}
+	body = append(body, isa.Instruction{Op: isa.CtxResume, Target: 0})
+	return body, ck
+}
+
+func (t *flushTech) StaticContextBytes(pc int) int { return t.entryRegs.ContextBytes() }
+
+func (t *flushTech) EstPreemptCycles(pc int) int64 { return estFixedCycles }
+
+// chimeraTech implements Chimera-style collaborative preemption
+// (Park et al. [11], with CTXBack replacing the traditional context
+// switch, as the paper's §VI suggests): per warp, at preemption time,
+// pick the cheapest sound mechanism given the warp's progress —
+//
+//   - flush (drop & restart) when the warp has made little progress and
+//     the kernel is idempotent: latency ~0, waste small;
+//   - CTXBack context switch otherwise: bounded latency, no waste.
+type chimeraTech struct {
+	prog  *isa.Program
+	flush *flushTech
+	ctx   Technique
+	// flushBudget is the progress (retired instructions) below which
+	// dropping wastes less than a context switch would cost.
+	flushBudget int64
+}
+
+// NewChimera compiles the Chimera selector over SM-flushing and CTXBack.
+func NewChimera(prog *isa.Program) (Technique, error) {
+	// Chimera keeps the flush arm even for non-flushable kernels — the
+	// selector simply never chooses it there.
+	fl, err := newFlushTech(prog)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := NewCTXBack(prog)
+	if err != nil {
+		return nil, err
+	}
+	// A context switch moves roughly the mean CTXBack context both ways;
+	// value that traffic in instruction-issue terms to bound how much
+	// re-execution a flush may waste.
+	var meanCtx int64
+	for pc := 0; pc < prog.Len(); pc++ {
+		meanCtx += int64(ctx.StaticContextBytes(pc))
+	}
+	meanCtx /= int64(prog.Len())
+	budget := meanCtx / 8 // ~bytes per re-executed instruction equivalent
+	if budget < 16 {
+		budget = 16
+	}
+	return &chimeraTech{prog: prog, flush: fl, ctx: ctx, flushBudget: budget}, nil
+}
+
+func (t *chimeraTech) Kind() Kind   { return Chimera }
+func (t *chimeraTech) Name() string { return Chimera.String() }
+
+// useFlush: flushing inside a mixed-mode episode is only sound for
+// LDS-free kernels — a context-switched warp restores only its own LDS
+// share, so a flushed peer could lose cross-warp LDS state its replay
+// does not regenerate.
+func (t *chimeraTech) useFlush(w *sim.Warp) bool {
+	if !t.flush.Flushable() || t.prog.LDSBytes > 0 {
+		return false
+	}
+	return w.DynCount <= t.flushBudget
+}
+
+func (t *chimeraTech) PreemptRoutine(w *sim.Warp) []isa.Instruction {
+	if t.useFlush(w) {
+		return t.flush.PreemptRoutine(w)
+	}
+	return t.ctx.PreemptRoutine(w)
+}
+
+func (t *chimeraTech) ResumeRoutine(w *sim.Warp) ([]isa.Instruction, *sim.SavedContext) {
+	// The same progress test is stable across the episode: DynCount is
+	// frozen while the warp is preempted... but flushing resets it, so
+	// record the choice via the saved context: a flush resume always
+	// restarts at PC 0 with the entry snapshot.
+	if t.useFlushAtResume(w) {
+		return t.flush.ResumeRoutine(w)
+	}
+	return t.ctx.ResumeRoutine(w)
+}
+
+func (t *chimeraTech) useFlushAtResume(w *sim.Warp) bool {
+	if !t.flush.Flushable() || t.prog.LDSBytes > 0 {
+		return false
+	}
+	rec := w.Record()
+	return rec != nil && rec.DynAtSignal <= t.flushBudget
+}
+
+func (t *chimeraTech) Hook(w *sim.Warp, pc int) ([]isa.Instruction, *sim.SavedContext) {
+	// Entry snapshots (flush) have priority on the very first
+	// instruction; OSRB backups run everywhere else.
+	if instrs, buf := t.flush.Hook(w, pc); instrs != nil {
+		return instrs, buf
+	}
+	return t.ctx.Hook(w, pc)
+}
+
+func (t *chimeraTech) StaticContextBytes(pc int) int { return t.ctx.StaticContextBytes(pc) }
+
+func (t *chimeraTech) EstPreemptCycles(pc int) int64 { return t.ctx.EstPreemptCycles(pc) }

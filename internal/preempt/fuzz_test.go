@@ -1,0 +1,112 @@
+package preempt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ctxback/internal/isa"
+	"ctxback/internal/sim"
+)
+
+// genLoopProgram builds a random kernel with a loop: per iteration a
+// burst of integer ALU with heavy register reuse, a load, and a store of
+// a rolling checksum — so every preemption point leaves observable state.
+func genLoopProgram(rng *rand.Rand, bodyLen int) *isa.Program {
+	const nV = 10
+	b := isa.NewBuilder("fuzzloop", nV, 20, 0)
+	v := func() isa.Operand { return isa.R(isa.V(2 + rng.Intn(nV-2))) }
+	imm := func() isa.Operand { return isa.Imm(rng.Intn(97) + 1) }
+	// v0 = lane output slot, v1 = rolling checksum; s4 = iterations.
+	b.I(isa.VLaneID, isa.R(isa.V(0)))
+	b.NoOvf(isa.VShl, isa.R(isa.V(0)), isa.R(isa.V(0)), isa.Imm(2))
+	b.NoOvf(isa.VAdd, isa.R(isa.V(0)), isa.R(isa.V(0)), isa.Imm(8192))
+	b.I(isa.VMov, isa.R(isa.V(1)), isa.Imm(1))
+	b.Label("loop")
+	for i := 0; i < bodyLen; i++ {
+		switch rng.Intn(7) {
+		case 0:
+			b.I(isa.VAdd, v(), v(), imm())
+		case 1:
+			b.I(isa.VSub, v(), v(), v())
+		case 2:
+			b.I(isa.VXor, v(), v(), imm())
+		case 3:
+			b.I(isa.VMul, v(), v(), imm())
+		case 4:
+			b.I(isa.VMov, v(), imm())
+		case 5:
+			b.I(isa.VMad, v(), v(), v(), v())
+		case 6:
+			addr := isa.V(2 + rng.Intn(nV-2))
+			b.I(isa.VAnd, isa.R(addr), isa.R(addr), isa.Imm(0xFFC))
+			b.I(isa.VGLoad, v(), isa.R(addr), isa.Imm(0)).Space(1)
+		}
+	}
+	// Fold everything into the checksum and store it.
+	for i := 2; i < nV; i++ {
+		b.I(isa.VMad, isa.R(isa.V(1)), isa.R(isa.V(1)), isa.Imm(31), isa.R(isa.V(i)))
+	}
+	b.I(isa.VGStore, isa.R(isa.V(0)), isa.R(isa.V(1)), isa.Imm(0)).Space(2)
+	b.I(isa.SSub, isa.R(isa.S(4)), isa.R(isa.S(4)), isa.Imm(1))
+	b.I(isa.SCmpGt, isa.R(isa.S(4)), isa.Imm(0))
+	b.Branch(isa.SCBranchSCC1, "loop")
+	b.I(isa.SEndpgm)
+	return b.MustBuild()
+}
+
+// TestFuzzDynamicGoldenEquivalence preempts random loop kernels at random
+// points under every technique and checks bit-exact equivalence with the
+// uninterrupted run — the dynamic analogue of the planner fuzz in
+// internal/core.
+func TestFuzzDynamicGoldenEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	for it := 0; it < iters; it++ {
+		prog := genLoopProgram(rng, 8+rng.Intn(20))
+		setup := func(w *sim.Warp) { w.SRegs[4] = 12 }
+
+		golden := sim.MustNewDevice(sim.TestConfig())
+		if _, err := golden.Launch(sim.LaunchSpec{Prog: prog, NumBlocks: 2, WarpsPerBlock: 1, Setup: setup}); err != nil {
+			t.Fatal(err)
+		}
+		if err := golden.Run(100_000_000); err != nil {
+			t.Fatalf("iter %d golden: %v\n%s", it, err, prog.Disassemble())
+		}
+
+		for _, kind := range Kinds() {
+			tech, err := New(kind, prog)
+			if err != nil {
+				t.Fatalf("iter %d %v: %v", it, kind, err)
+			}
+			d := sim.MustNewDevice(sim.TestConfig())
+			d.AttachRuntime(tech)
+			if _, err := d.Launch(sim.LaunchSpec{Prog: prog, NumBlocks: 2, WarpsPerBlock: 1, Setup: setup}); err != nil {
+				t.Fatal(err)
+			}
+			signal := int64(rng.Float64() * 0.9 * float64(golden.Now()))
+			if err := d.RunUntil(func() bool { return d.Now() >= signal }, 100_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if ep, err := d.Preempt(0, tech); err == nil {
+				if err := d.RunUntil(ep.Saved, 100_000_000); err != nil {
+					t.Fatalf("iter %d %v save: %v\n%s", it, kind, err, prog.Disassemble())
+				}
+				if err := d.Resume(ep); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := d.Run(100_000_000); err != nil {
+				t.Fatalf("iter %d %v: %v\n%s", it, kind, err, prog.Disassemble())
+			}
+			for i := range golden.Mem {
+				if golden.Mem[i] != d.Mem[i] {
+					t.Fatalf("iter %d %v: mem[%d] = %#x, golden %#x\n%s",
+						it, kind, i, d.Mem[i], golden.Mem[i], prog.Disassemble())
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"ctxback/internal/isa"
+)
+
+// Runtime is the hook a preemption technique implements to drive context
+// switching on the simulator. internal/preempt provides implementations.
+type Runtime interface {
+	Name() string
+	// PreemptRoutine returns the dedicated preemption routine for w
+	// (queried by w.PC, per paper §IV-B). Executed in ModePreemptRoutine
+	// against a fresh context buffer; must end with CtxExit.
+	PreemptRoutine(w *Warp) []isa.Instruction
+	// ResumeRoutine returns the dedicated resume routine. ctxOverride,
+	// when non-nil, replaces the warp's context buffer for the routine
+	// (checkpoint-based techniques restore from their own snapshots).
+	// Must end with CtxResume.
+	ResumeRoutine(w *Warp) (instrs []isa.Instruction, ctxOverride *SavedContext)
+	// Hook returns instrumentation to execute immediately before the
+	// kernel instruction at pc (runtime overhead: checkpoint stores, OSRB
+	// copies). buf, when non-nil, is attached as the context buffer while
+	// the hook runs. Return nil for no instrumentation.
+	Hook(w *Warp, pc int) (instrs []isa.Instruction, buf *SavedContext)
+}
+
+// Device is the simulated GPU.
+type Device struct {
+	Cfg      Config
+	Mem      []uint32
+	SMs      []*SM
+	now      int64
+	memFree  int64 // device-memory bus next-free cycle
+	ctxFree  int64 // context save/restore path next-free cycle
+	launches []*Launch
+	rt       Runtime // attached technique (Hook instrumentation)
+	tracer   *Tracer
+	Stats    DeviceStats
+
+	hazardScratch []isa.Reg
+}
+
+// DeviceStats aggregates device-wide counters.
+type DeviceStats struct {
+	Instructions  int64 // all executed instructions (any mode)
+	KernelInstrs  int64 // kernel-mode retirements
+	RoutineInstrs int64
+	HookInstrs    int64
+	GlobalBytes   int64
+	LDSBytes      int64
+	Cycles        int64
+}
+
+// NewDevice builds a device from cfg.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{Cfg: cfg, Mem: make([]uint32, cfg.GlobalMemBytes/4)}
+	for i := 0; i < cfg.NumSMs; i++ {
+		d.SMs = append(d.SMs, &SM{ID: i, Dev: d})
+	}
+	return d, nil
+}
+
+// MustNewDevice panics on config errors.
+func MustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Now returns the current simulated cycle.
+func (d *Device) Now() int64 { return d.now }
+
+// Micros returns the current simulated time in microseconds.
+func (d *Device) Micros() float64 { return d.Cfg.CyclesToMicros(d.now) }
+
+// accessGlobal pushes bytes through the shared device-memory bus starting
+// no earlier than start; returns the cycle the data lands. Context
+// save/restore traffic (ctxPath) additionally serializes through the
+// slow switch-routine path, so its completion is gated by whichever of
+// the two resources frees later — switch time tracks context size but
+// degrades under bus contention, as the paper observes.
+func (d *Device) accessGlobal(start int64, bytes int, ctxPath, isLoad bool) int64 {
+	busDur := int64(math.Ceil(float64(bytes) / d.Cfg.MemBytesPerCycle))
+	if busDur < 1 {
+		busDur = 1
+	}
+	d.Stats.GlobalBytes += int64(bytes)
+	if !ctxPath {
+		txStart := max(start, d.memFree)
+		d.memFree = txStart + busDur
+		return txStart + busDur + int64(d.Cfg.MemLatency)
+	}
+	// Context traffic serializes through BOTH resources: it must win bus
+	// slots against the other SMs' kernel traffic AND squeeze through the
+	// slow switch-routine path — so a busy device slows context switches,
+	// exactly the contention effect §V-A reports.
+	rate := d.Cfg.CtxBytesPerCycle
+	if isLoad && d.Cfg.CtxRestoreFactor > 0 {
+		rate *= d.Cfg.CtxRestoreFactor
+	}
+	ctxDur := int64(math.Ceil(float64(bytes) / rate))
+	s := max(start, d.memFree, d.ctxFree)
+	d.memFree = s + busDur
+	d.ctxFree = s + ctxDur
+	return s + max(busDur, ctxDur) + int64(d.Cfg.MemLatency)
+}
+
+// Occupancy describes how many blocks/warps of a kernel fit on one SM.
+type Occupancy struct {
+	WarpsPerSM  int
+	BlocksPerSM int
+	LimitedBy   string
+}
+
+// ComputeOccupancy derives the per-SM residency limits for prog with the
+// given block shape.
+func (d *Device) ComputeOccupancy(prog *isa.Program, warpsPerBlock int) (Occupancy, error) {
+	vregBytes := prog.AllocatedVRegs() * 4 * isa.WarpSize
+	sregBytes := prog.AllocatedSRegs() * 4
+	if vregBytes == 0 {
+		return Occupancy{}, fmt.Errorf("sim: kernel %q declares no vector registers", prog.Name)
+	}
+	limit := d.Cfg.MaxWarpsPerSM
+	by := "warp slots"
+	if v := d.Cfg.VRegFileBytes / vregBytes; v < limit {
+		limit, by = v, "vector registers"
+	}
+	if sregBytes > 0 {
+		if s := d.Cfg.SRegFileBytes / sregBytes; s < limit {
+			limit, by = s, "scalar registers"
+		}
+	}
+	blocks := limit / warpsPerBlock
+	if prog.LDSBytes > 0 {
+		if l := d.Cfg.LDSBytesPerSM / prog.LDSBytes; l < blocks {
+			blocks, by = l, "LDS"
+		}
+	}
+	if blocks == 0 {
+		return Occupancy{}, fmt.Errorf("sim: kernel %q (block of %d warps) does not fit on an SM (limited by %s)",
+			prog.Name, warpsPerBlock, by)
+	}
+	return Occupancy{WarpsPerSM: blocks * warpsPerBlock, BlocksPerSM: blocks, LimitedBy: by}, nil
+}
+
+// LaunchSpec configures a kernel launch.
+type LaunchSpec struct {
+	Prog          *isa.Program
+	NumBlocks     int
+	WarpsPerBlock int
+	// Setup initializes each warp's registers before it starts (ABI:
+	// kernels read their arguments from scalar registers).
+	Setup func(w *Warp)
+	// SMFilter restricts dispatch to the listed SMs (nil: all).
+	SMFilter []int
+}
+
+// Launch tracks one kernel grid through execution.
+type Launch struct {
+	Spec      LaunchSpec
+	Dev       *Device
+	Occ       Occupancy
+	Warps     []*Warp
+	blocks    []*blockInfo
+	nextBlock int
+	doneWarps int
+}
+
+type blockInfo struct {
+	id     int
+	lds    *LDSBlock
+	warps  []*Warp
+	sm     *SM
+	placed bool
+	done   int
+}
+
+// Launch dispatches a grid. Blocks are placed greedily on allowed SMs up
+// to occupancy; remaining blocks wait for finished blocks to free slots.
+func (d *Device) Launch(spec LaunchSpec) (*Launch, error) {
+	if spec.NumBlocks <= 0 || spec.WarpsPerBlock <= 0 {
+		return nil, fmt.Errorf("sim: launch needs positive grid dimensions")
+	}
+	if err := spec.Prog.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	occ, err := d.ComputeOccupancy(spec.Prog, spec.WarpsPerBlock)
+	if err != nil {
+		return nil, err
+	}
+	l := &Launch{Spec: spec, Dev: d, Occ: occ}
+	ldsWords := spec.Prog.LDSBytes / 4
+	shareBytes := 0
+	if spec.Prog.LDSBytes > 0 {
+		shareBytes = spec.Prog.LDSBytes / spec.WarpsPerBlock
+	}
+	wid := 0
+	for b := 0; b < spec.NumBlocks; b++ {
+		bi := &blockInfo{id: b, lds: &LDSBlock{Data: make([]uint32, ldsWords), BlockID: b}}
+		for wi := 0; wi < spec.WarpsPerBlock; wi++ {
+			w := newWarp(wid, b, wi, spec.Prog, bi.lds)
+			w.LDSShareLo = wi * shareBytes
+			w.LDSShareHi = (wi + 1) * shareBytes
+			w.launch = l
+			if spec.Setup != nil {
+				spec.Setup(w)
+			}
+			bi.warps = append(bi.warps, w)
+			l.Warps = append(l.Warps, w)
+			wid++
+		}
+		l.blocks = append(l.blocks, bi)
+	}
+	d.launches = append(d.launches, l)
+	d.dispatch(l)
+	return l, nil
+}
+
+func (l *Launch) allowedSM(sm *SM) bool {
+	if l.Spec.SMFilter == nil {
+		return true
+	}
+	for _, id := range l.Spec.SMFilter {
+		if id == sm.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch places as many pending blocks as fit.
+func (d *Device) dispatch(l *Launch) {
+	for l.nextBlock < len(l.blocks) {
+		bi := l.blocks[l.nextBlock]
+		var target *SM
+		for _, sm := range d.SMs {
+			if !l.allowedSM(sm) {
+				continue
+			}
+			if sm.offline && sm.episode != nil && sm.episode.frozen[l] {
+				continue
+			}
+			if sm.blocksOf(l) >= l.Occ.BlocksPerSM {
+				continue
+			}
+			if target == nil || sm.residentWarps() < target.residentWarps() {
+				target = sm
+			}
+		}
+		if target == nil {
+			return
+		}
+		bi.sm = target
+		bi.placed = true
+		for _, w := range bi.warps {
+			w.SM = target
+			w.ReadyAt = d.now
+			target.Warps = append(target.Warps, w)
+		}
+		l.nextBlock++
+	}
+}
+
+// Done reports whether every warp of the launch has retired s_endpgm.
+func (l *Launch) Done() bool { return l.doneWarps == len(l.Warps) }
+
+// Step executes the single globally-earliest issuable instruction.
+// Returns false when nothing can make progress (all done, or everything
+// is blocked/preempted).
+func (d *Device) Step() (bool, error) {
+	var best *Warp
+	var bestSM *SM
+	bestT := int64(math.MaxInt64)
+	for _, sm := range d.SMs {
+		for _, w := range sm.Warps {
+			if w.State != WarpReady {
+				continue
+			}
+			// The hazard-resolved issue time only changes when the warp
+			// itself advances, so it is cached between selections.
+			if !w.candValid {
+				in := w.currentInstr()
+				if in == nil {
+					return false, fmt.Errorf("sim: warp %d ran off the end of its stream (mode %d)", w.ID, w.Mode)
+				}
+				w.candTime = max(w.ReadyAt, w.regReadyAt(d.hazardRegs(in)))
+				w.candValid = true
+			}
+			t := max(sm.issueFree, w.candTime)
+			// Round-robin among same-cycle candidates: prefer the warp
+			// that issued least recently so no warp starves.
+			if t < bestT || (t == bestT && best != nil && w.lastIssued < best.lastIssued) {
+				bestT, best, bestSM = t, w, sm
+			}
+		}
+	}
+	if best == nil {
+		return false, nil
+	}
+	if err := bestSM.issue(best, bestT); err != nil {
+		return false, err
+	}
+	if bestT > d.now {
+		d.now = bestT
+	}
+	d.Stats.Cycles = d.now
+	return true, nil
+}
+
+// hazardRegs collects the registers whose in-flight values gate issue of
+// in (RAW via uses, WAW via defs). The scratch slice lives on the Device
+// so independent devices never share state.
+func (d *Device) hazardRegs(in *isa.Instruction) []isa.Reg {
+	d.hazardScratch = d.hazardScratch[:0]
+	d.hazardScratch = in.Uses(d.hazardScratch)
+	d.hazardScratch = in.Defs(d.hazardScratch)
+	return d.hazardScratch
+}
+
+// AdvanceTo fast-forwards the clock to cycle (no-op when already past).
+// Use it to wait out in-flight traffic when no warp can issue.
+func (d *Device) AdvanceTo(cycle int64) {
+	if cycle > d.now {
+		d.now = cycle
+		d.Stats.Cycles = d.now
+	}
+}
+
+// RunUntil steps until cond is true, no progress is possible, or
+// maxCycles elapse. It returns an error on simulation faults or on
+// deadlock while work remains and expectIdle is false.
+func (d *Device) RunUntil(cond func() bool, maxCycles int64) error {
+	limit := d.now + maxCycles
+	for {
+		if cond != nil && cond() {
+			return nil
+		}
+		progressed, err := d.Step()
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			return nil
+		}
+		if d.now > limit {
+			return fmt.Errorf("sim: exceeded cycle budget (%d cycles)", maxCycles)
+		}
+	}
+}
+
+// Run executes until all launches complete (or maxCycles).
+func (d *Device) Run(maxCycles int64) error {
+	err := d.RunUntil(func() bool {
+		for _, l := range d.launches {
+			if !l.Done() {
+				return false
+			}
+		}
+		return true
+	}, maxCycles)
+	if err != nil {
+		return err
+	}
+	for _, l := range d.launches {
+		if !l.Done() {
+			return fmt.Errorf("sim: deadlock — launch %q stalled with %d/%d warps done",
+				l.Spec.Prog.Name, l.doneWarps, len(l.Warps))
+		}
+	}
+	return nil
+}
+
+// WriteWords copies words into device memory at byte address addr.
+func (d *Device) WriteWords(addr int, words []uint32) error {
+	if addr%4 != 0 || addr < 0 || addr/4+len(words) > len(d.Mem) {
+		return fmt.Errorf("sim: WriteWords out of range addr=%d len=%d", addr, len(words))
+	}
+	copy(d.Mem[addr/4:], words)
+	return nil
+}
+
+// ReadWords copies length words from byte address addr.
+func (d *Device) ReadWords(addr, length int) ([]uint32, error) {
+	if addr%4 != 0 || addr < 0 || addr/4+length > len(d.Mem) {
+		return nil, fmt.Errorf("sim: ReadWords out of range addr=%d len=%d", addr, length)
+	}
+	out := make([]uint32, length)
+	copy(out, d.Mem[addr/4:])
+	return out, nil
+}

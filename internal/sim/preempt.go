@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"fmt"
+
+	"ctxback/internal/isa"
+)
+
+// Episode is one preemption of an SM: every kernel-mode warp resident on
+// the SM saves its context through the attached technique and releases
+// its slot; Resume brings them back later.
+type Episode struct {
+	SM      *SM
+	rt      Runtime
+	pending bool // signal raised, some warps not yet in their routine
+	// frozen lists launches that may not place new blocks on the vacated
+	// SM while the episode is active.
+	frozen map[*Launch]bool
+
+	Victims []*Warp
+
+	SignalCycle   int64
+	AllSavedCycle int64 // last CtxExit (incl. outstanding stores)
+	ResumeStart   int64
+	AllResumed    int64
+
+	savedCount   int
+	resumedCount int
+}
+
+// AttachRuntime installs the preemption technique runtime whose Hook
+// instrumentation (checkpoints, OSRB copies) should run during normal
+// execution. Required before Preempt with the same runtime.
+func (d *Device) AttachRuntime(rt Runtime) { d.rt = rt }
+
+// Preempt raises a preemption signal on SM smID at the current cycle.
+// Every resident kernel warp will enter its dedicated preemption routine
+// before issuing its next instruction.
+func (d *Device) Preempt(smID int, rt Runtime) (*Episode, error) {
+	if smID < 0 || smID >= len(d.SMs) {
+		return nil, fmt.Errorf("sim: no SM %d", smID)
+	}
+	sm := d.SMs[smID]
+	if sm.episode != nil && !sm.episode.Finished() {
+		return nil, fmt.Errorf("sim: SM %d already has an active episode", smID)
+	}
+	ep := &Episode{SM: sm, rt: rt, pending: true, SignalCycle: d.now,
+		frozen: make(map[*Launch]bool)}
+	// Launches already in flight may not re-dispatch blocks onto the
+	// freed SM: it is being vacated for a newcomer.
+	for _, l := range d.launches {
+		ep.frozen[l] = true
+	}
+	for _, w := range sm.Warps {
+		if w.State == WarpDone || w.State == WarpPreempted {
+			continue
+		}
+		ep.Victims = append(ep.Victims, w)
+	}
+	if len(ep.Victims) == 0 {
+		return nil, fmt.Errorf("sim: SM %d has no running warps to preempt", smID)
+	}
+	sm.episode = ep
+	sm.offline = true
+	// Barrier-waiting warps cannot observe the signal by issuing; preempt
+	// them in place at the barrier instruction (they re-arrive on
+	// resume).
+	for _, w := range ep.Victims {
+		if w.barrierWait {
+			w.barrierWait = false
+			w.State = WarpReady
+			w.PC-- // back to the barrier instruction itself
+			w.ReadyAt = max(w.ReadyAt, d.now)
+			w.candValid = false
+		}
+	}
+	return ep, nil
+}
+
+// beginPreempt switches a warp into its dedicated preemption routine.
+func (sm *SM) beginPreempt(w *Warp, t int64) {
+	ep := sm.episode
+	rec := &PreemptRecord{
+		SignalCycle: ep.SignalCycle,
+		DynAtSignal: w.DynCount,
+		PCAtSignal:  w.PC,
+	}
+	w.preemptRec = rec
+	w.ctx = NewSavedContext()
+	w.enterRoutine(ModePreemptRoutine, ep.rt.PreemptRoutine(w))
+	ep.noteEntered()
+}
+
+func (ep *Episode) noteEntered() {
+	n := 0
+	for _, w := range ep.Victims {
+		if w.preemptRec != nil {
+			n++
+		}
+	}
+	if n == len(ep.Victims) {
+		ep.pending = false
+	}
+}
+
+func (ep *Episode) onWarpSaved(w *Warp, cycle int64) {
+	ep.savedCount++
+	if cycle > ep.AllSavedCycle {
+		ep.AllSavedCycle = cycle
+	}
+	if ep.savedCount == len(ep.Victims) {
+		// All context saved: resources are released; poison the LDS of
+		// victim blocks so un-restored state cannot leak through resume.
+		blocks := map[*LDSBlock]bool{}
+		for _, v := range ep.Victims {
+			blocks[v.LDS] = true
+		}
+		for b := range blocks {
+			for i := range b.Data {
+				b.Data[i] = 0xDEADBEEF
+			}
+		}
+	}
+}
+
+func (ep *Episode) onWarpResumed(w *Warp, cycle int64) {
+	ep.resumedCount++
+	if cycle > ep.AllResumed {
+		ep.AllResumed = cycle
+	}
+	if ep.resumedCount == len(ep.Victims) {
+		ep.SM.offline = false
+		ep.SM.episode = nil
+		ep.SM.Dev.redispatch()
+	}
+}
+
+func (d *Device) redispatch() {
+	for _, l := range d.launches {
+		d.dispatch(l)
+	}
+}
+
+// Saved reports whether every victim has finished its preemption routine
+// (the SM's resources are free).
+func (ep *Episode) Saved() bool { return ep.savedCount == len(ep.Victims) }
+
+// Finished reports whether every victim has also completed resuming.
+func (ep *Episode) Finished() bool { return ep.resumedCount == len(ep.Victims) }
+
+// PreemptLatencyCycles is the elapsed time from the signal until the SM
+// was fully released (paper: "preemption latency").
+func (ep *Episode) PreemptLatencyCycles() int64 { return ep.AllSavedCycle - ep.SignalCycle }
+
+// ResumeCycles is the elapsed time from resume start until every warp
+// regained its logical progress (paper: "resuming time", including
+// re-execution).
+func (ep *Episode) ResumeCycles() int64 { return ep.AllResumed - ep.ResumeStart }
+
+// SavedBytes totals the context traffic written during preemption.
+func (ep *Episode) SavedBytes() int64 {
+	var total int64
+	for _, w := range ep.Victims {
+		if w.preemptRec != nil {
+			total += w.preemptRec.SavedBytes
+		}
+	}
+	return total
+}
+
+// Resume re-materializes every preempted victim on its SM and starts the
+// dedicated resume routines at the current cycle.
+func (d *Device) Resume(ep *Episode) error {
+	if !ep.Saved() {
+		return fmt.Errorf("sim: resume before all contexts saved (%d/%d)", ep.savedCount, len(ep.Victims))
+	}
+	if ep.ResumeStart != 0 {
+		return fmt.Errorf("sim: episode already resumed")
+	}
+	// Saved() reports completion when the last CtxExit issues, but the
+	// context stores may still be in flight; the SM is only physically
+	// free at AllSavedCycle. Resuming cannot begin earlier.
+	start := max(d.now, ep.AllSavedCycle)
+	ep.ResumeStart = start
+	for _, w := range ep.Victims {
+		w.preemptRec.ResumeStart = start
+		instrs, override := ep.rt.ResumeRoutine(w)
+		if override != nil {
+			w.ctx = override
+		}
+		w.poison()
+		w.State = WarpReady
+		w.Mode = ModeKernel // enterRoutine overrides; kept for clarity
+		w.enterRoutine(ModeResumeRoutine, instrs)
+		w.ReadyAt = start
+		w.regReady = make(map[isa.Reg]int64)
+		w.lastStoreDone = 0
+		w.candValid = false
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"fmt"
+
+	"ctxback/internal/isa"
+)
+
+// SM is one streaming multiprocessor: warp slots, an issue port, and a
+// private LDS pipeline.
+type SM struct {
+	ID  int
+	Dev *Device
+
+	Warps []*Warp // resident warps (any state)
+
+	issueFree int64 // next cycle the issue port is free
+	ldsFree   int64 // next cycle the LDS pipeline is free
+
+	// offline marks an SM being preempted: the dispatcher must not place
+	// new victim blocks on it until the episode resolves.
+	offline bool
+
+	episode *Episode // active preemption episode, if any
+}
+
+func (sm *SM) residentWarps() int {
+	n := 0
+	for _, w := range sm.Warps {
+		if w.State != WarpPreempted {
+			n++
+		}
+	}
+	return n
+}
+
+func (sm *SM) blocksOf(l *Launch) int {
+	seen := map[int]bool{}
+	for _, w := range sm.Warps {
+		if w.launch == l && w.State != WarpPreempted {
+			seen[w.BlockID] = true
+		}
+	}
+	return len(seen)
+}
+
+// accessLDS pushes bytes through the SM-private LDS pipeline.
+func (sm *SM) accessLDS(start int64, bytes int) int64 {
+	txStart := max(start, sm.ldsFree)
+	dur := int64(float64(bytes)/sm.Dev.Cfg.LDSBytesPerCycle) + 1
+	sm.ldsFree = txStart + dur
+	sm.Dev.Stats.LDSBytes += int64(bytes)
+	return txStart + dur + int64(sm.Dev.Cfg.LDSLatency)
+}
+
+// issue executes warp w's next instruction at cycle t and applies timing.
+func (sm *SM) issue(w *Warp, t int64) error {
+	d := sm.Dev
+
+	// Instrumentation hooks fire before kernel instructions — and before
+	// the preemption signal is honored: injected instrumentation precedes
+	// the instruction in program order, so a warp about to take a forced
+	// checkpoint (e.g. right after a barrier) completes it first. This
+	// keeps checkpoint cuts consistent with cross-warp LDS state.
+	if w.Mode == ModeKernel && d.rt != nil && !w.skipHookOnce {
+		if instrs, buf := d.rt.Hook(w, w.PC); len(instrs) > 0 {
+			w.skipHookOnce = true
+			w.hookSavedCtx = w.ctx
+			w.ctx = buf
+			w.enterHook(instrs)
+		}
+	}
+
+	// Preemption signals are processed before executing each kernel
+	// instruction (paper §III).
+	if sm.episode != nil && sm.episode.pending && w.Mode == ModeKernel && !w.barrierWait {
+		sm.beginPreempt(w, t)
+	}
+
+	in := w.currentInstr()
+	if in == nil {
+		return fmt.Errorf("sim: warp %d has no instruction to issue", w.ID)
+	}
+	eff, err := d.execute(w, in)
+	if err != nil {
+		return err
+	}
+
+	d.Stats.Instructions++
+	if tr := d.tracer; tr != nil && (tr.Filter == nil || tr.Filter(w)) {
+		tr.record(TraceEvent{Cycle: t, SM: sm.ID, WarpID: w.ID, Mode: w.Mode, PC: w.PC, Text: in.String()})
+	}
+	switch w.Mode {
+	case ModeKernel:
+		d.Stats.KernelInstrs++
+	case ModeHook:
+		d.Stats.HookInstrs++
+	default:
+		d.Stats.RoutineInstrs++
+	}
+
+	// Timing.
+	info := in.Op.Info()
+	w.lastIssued = t
+	w.candValid = false
+	sm.issueFree = t + 1
+	w.ReadyAt = t + 1
+	done := t + int64(info.IssueCycles)
+	switch {
+	case eff.memBytes > 0:
+		// Context traffic takes the slow switch path only inside real
+		// preemption/resume routines; checkpoint stores injected as
+		// instrumentation (ModeHook) are ordinary kernel stores on the
+		// fast bus.
+		ctxPath := info.Class == isa.ClassContext && w.Mode != ModeHook
+		complete := d.accessGlobal(t+int64(info.IssueCycles), eff.memBytes, ctxPath, info.HasDst)
+		if info.HasDst && in.Dst.Valid() {
+			w.setRegReady(in.Dst, complete)
+		} else {
+			w.lastStoreDone = max(w.lastStoreDone, complete)
+		}
+		if info.Class == isa.ClassContext && w.preemptRec != nil {
+			switch w.Mode {
+			case ModePreemptRoutine:
+				w.preemptRec.SavedBytes += int64(eff.memBytes)
+			case ModeResumeRoutine:
+				w.preemptRec.RestoredBytes += int64(eff.memBytes)
+			}
+		}
+		done = complete
+	case eff.ldsBytes > 0:
+		complete := sm.accessLDS(t+int64(info.IssueCycles), eff.ldsBytes)
+		if info.HasDst && in.Dst.Valid() {
+			w.setRegReady(in.Dst, complete)
+		} else {
+			w.lastStoreDone = max(w.lastStoreDone, complete)
+		}
+		done = complete
+	default:
+		if info.HasDst && in.Dst.Valid() {
+			w.setRegReady(in.Dst, done)
+		}
+		for _, r := range in.Defs(nil) {
+			if r != in.Dst {
+				w.setRegReady(r, done)
+			}
+		}
+	}
+
+	// Advance the stream.
+	switch w.Mode {
+	case ModeKernel:
+		w.DynCount++
+		w.skipHookOnce = false
+		if eff.nextPC >= 0 {
+			w.PC = eff.nextPC
+		} else {
+			w.PC++
+		}
+	default:
+		w.routinePC++
+		if w.Mode == ModeHook && w.routinePC >= len(w.routine) {
+			// Hook finished: restore the underlying stream.
+			w.Mode = w.savedMode
+			w.ctx = w.hookSavedCtx
+			w.hookSavedCtx = nil
+			w.hookDepth--
+		}
+	}
+
+	// State transitions.
+	switch {
+	case eff.endpgm:
+		w.State = WarpDone
+		w.ReadyAt = max(done, w.lastStoreDone)
+		w.launch.doneWarps++
+		sm.onBlockMaybeFinished(w)
+		d.dispatch(w.launch)
+	case eff.barrier:
+		sm.arriveBarrier(w, max(t+1, w.lastStoreDone))
+	case eff.ctxExit:
+		saved := max(done, w.lastStoreDone)
+		w.State = WarpPreempted
+		w.ReadyAt = saved
+		if rec := w.preemptRec; rec != nil {
+			rec.SavedCycle = saved
+		}
+		sm.episode.onWarpSaved(w, saved)
+	case eff.ctxResume:
+		w.Mode = ModeKernel
+		w.PC = eff.resumePC
+		w.DynCount = w.ctx.DynCount
+		w.BarrierCount = w.ctx.Barriers
+		w.ctx = nil
+		// The state is only restored once every outstanding restore load
+		// has landed.
+		restored := max(done, w.lastStoreDone)
+		for _, ready := range w.regReady {
+			restored = max(restored, ready)
+		}
+		if rec := w.preemptRec; rec != nil && rec.ResumeComplete == 0 && w.DynCount >= rec.DynAtSignal {
+			rec.ResumeComplete = restored
+			sm.episode.onWarpResumed(w, rec.ResumeComplete)
+		}
+	}
+
+	// Progress-based resume completion (checkpoint re-execution).
+	if w.Mode == ModeKernel {
+		if rec := w.preemptRec; rec != nil && rec.ResumeComplete == 0 && rec.ResumeStart > 0 && w.DynCount >= rec.DynAtSignal {
+			rec.ResumeComplete = max(done, w.lastStoreDone)
+			sm.episode.onWarpResumed(w, rec.ResumeComplete)
+		}
+	}
+	return nil
+}
+
+// arriveBarrier registers w at its next barrier and releases the block
+// when every live peer has arrived or is already logically past it.
+func (sm *SM) arriveBarrier(w *Warp, t int64) {
+	w.barrierWait = true
+	w.State = WarpAtBarrier
+	w.ReadyAt = t
+	sm.checkBarrier(w, t)
+}
+
+func (sm *SM) checkBarrier(w *Warp, t int64) {
+	target := w.BarrierCount + 1
+	var waiters []*Warp
+	for _, peer := range blockPeers(w) {
+		switch {
+		case peer.State == WarpDone:
+			// Finished warps no longer participate.
+		case peer.BarrierCount >= target:
+			// Already past this instance.
+		case peer.barrierWait && peer.BarrierCount+1 == target:
+			waiters = append(waiters, peer)
+		default:
+			return // someone still on the way
+		}
+	}
+	release := t
+	for _, peer := range waiters {
+		if peer.ReadyAt > release {
+			release = peer.ReadyAt
+		}
+	}
+	for _, peer := range waiters {
+		peer.barrierWait = false
+		peer.State = WarpReady
+		peer.BarrierCount = target
+		peer.ReadyAt = release + 1
+		peer.candValid = false
+	}
+}
+
+func blockPeers(w *Warp) []*Warp {
+	return w.launch.blocks[w.BlockID].warps
+}
+
+// onBlockMaybeFinished frees block bookkeeping when its last warp ends,
+// and re-checks barriers (a finishing warp may unblock waiters).
+func (sm *SM) onBlockMaybeFinished(w *Warp) {
+	bi := w.launch.blocks[w.BlockID]
+	bi.done++
+	for _, peer := range bi.warps {
+		if peer.barrierWait {
+			sm.checkBarrier(peer, peer.ReadyAt)
+			break
+		}
+	}
+	if bi.done == len(bi.warps) {
+		sm.removeBlockWarps(bi)
+	}
+}
+
+func (sm *SM) removeBlockWarps(bi *blockInfo) {
+	kept := sm.Warps[:0]
+	for _, w := range sm.Warps {
+		if w.BlockID == bi.id && w.launch.blocks[bi.id] == bi {
+			continue
+		}
+		kept = append(kept, w)
+	}
+	sm.Warps = kept
+}

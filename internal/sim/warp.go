@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"fmt"
+
+	"ctxback/internal/isa"
+)
+
+// WarpState is the lifecycle state of a warp slot.
+type WarpState uint8
+
+const (
+	WarpReady WarpState = iota
+	WarpAtBarrier
+	WarpDone
+	WarpPreempted // context saved, slot released
+)
+
+func (s WarpState) String() string {
+	switch s {
+	case WarpReady:
+		return "ready"
+	case WarpAtBarrier:
+		return "barrier"
+	case WarpDone:
+		return "done"
+	case WarpPreempted:
+		return "preempted"
+	}
+	return fmt.Sprintf("WarpState(%d)", uint8(s))
+}
+
+// ExecMode distinguishes what stream the warp is currently fetching from.
+type ExecMode uint8
+
+const (
+	ModeKernel ExecMode = iota
+	ModePreemptRoutine
+	ModeResumeRoutine
+	ModeHook // injected instrumentation (checkpoints, OSRB copies)
+)
+
+// Warp is one wavefront's architectural and micro-architectural state.
+type Warp struct {
+	ID         int // flat warp id within the launch
+	BlockID    int
+	WarpInBlk  int
+	SM         *SM
+	Prog       *isa.Program
+	LDS        *LDSBlock // shared with the other warps of the block
+	LDSShareLo int       // byte offset of this warp's snapshot share
+	LDSShareHi int
+
+	PC    int
+	VRegs [][]uint32 // [NumVRegs][WarpSize]
+	SRegs []uint64
+	Exec  uint64
+	VCC   uint64
+	SCC   bool
+
+	State WarpState
+	// ReadyAt is the earliest cycle the warp may attempt its next issue.
+	ReadyAt int64
+	// regReady maps a register to the cycle its in-flight value lands.
+	regReady map[isa.Reg]int64
+	// DynCount counts retired kernel-mode instructions (logical
+	// progress); routine/hook instructions do not count.
+	DynCount int64
+	// BarrierCount counts barriers this warp has passed.
+	BarrierCount int
+	barrierWait  bool // arrived at a barrier, waiting for the block
+
+	Mode ExecMode
+	// routine is the instruction stream executed in routine/hook modes.
+	routine      []isa.Instruction
+	routinePC    int
+	savedMode    ExecMode // mode to restore after a hook completes
+	hookDepth    int
+	hookSavedCtx *SavedContext
+	skipHookOnce bool          // suppress re-hooking the instruction a hook just ran for
+	ctx          *SavedContext // context buffer while preempted / resuming
+	preemptRec   *PreemptRecord
+	// lastStoreDone is the completion cycle of the warp's latest
+	// outstanding store; endpgm/barrier/ctx_exit wait for it.
+	lastStoreDone int64
+	// lastIssued is the cycle of this warp's most recent issue (used for
+	// round-robin tie-breaking in the scheduler).
+	lastIssued int64
+	// candTime caches the hazard-resolved earliest issue time for the
+	// warp's next instruction; candValid is cleared whenever the warp's
+	// own state advances.
+	candTime  int64
+	candValid bool
+	launch    *Launch
+}
+
+// PreemptPC returns the PC at which this warp observed the preemption
+// signal during the current episode (falls back to the current PC when
+// the warp was never preempted).
+func (w *Warp) PreemptPC() int {
+	if w.preemptRec != nil {
+		return w.preemptRec.PCAtSignal
+	}
+	return w.PC
+}
+
+// Record returns the warp's preemption measurement record (nil before
+// any preemption).
+func (w *Warp) Record() *PreemptRecord { return w.preemptRec }
+
+// Ctx returns the warp's attached context buffer (the saved context
+// while preempted / resuming, or a hook's target buffer). Techniques use
+// it to read back what their preemption routines recorded.
+func (w *Warp) Ctx() *SavedContext { return w.ctx }
+
+// LDSBlock is the shared memory of one thread block.
+type LDSBlock struct {
+	Data    []uint32
+	BlockID int
+}
+
+// SavedContext is the per-warp context buffer in device memory. Slots are
+// keyed by the Imm0 the context instructions carry; the generating
+// technique chooses the slot layout.
+type SavedContext struct {
+	VSlots   map[int32][]uint32
+	SSlots   map[int32]uint64
+	Specs    map[int32]uint64
+	LDS      []uint32 // the warp's LDS share
+	PC       int
+	DynCount int64
+	Barriers int
+}
+
+// NewSavedContext returns an empty context buffer.
+func NewSavedContext() *SavedContext {
+	return &SavedContext{
+		VSlots: make(map[int32][]uint32),
+		SSlots: make(map[int32]uint64),
+		Specs:  make(map[int32]uint64),
+	}
+}
+
+// PreemptRecord tracks one warp's preemption episode for measurement.
+type PreemptRecord struct {
+	SignalCycle    int64
+	SavedCycle     int64 // CtxExit retired: SM resources released
+	ResumeStart    int64
+	ResumeComplete int64 // logical progress back at the signal point
+	DynAtSignal    int64
+	PCAtSignal     int
+	SavedBytes     int64 // context traffic written at preemption
+	RestoredBytes  int64 // context traffic read at resume
+}
+
+func newWarp(id, blockID, warpInBlk int, prog *isa.Program, lds *LDSBlock) *Warp {
+	w := &Warp{
+		ID:        id,
+		BlockID:   blockID,
+		WarpInBlk: warpInBlk,
+		Prog:      prog,
+		LDS:       lds,
+		Exec:      ^uint64(0),
+		regReady:  make(map[isa.Reg]int64),
+	}
+	// Register files are sized to the allocated (alignment-padded)
+	// counts: the padding registers physically exist — OSRB stores
+	// backups there and BASELINE swaps them.
+	w.VRegs = make([][]uint32, prog.AllocatedVRegs())
+	for i := range w.VRegs {
+		w.VRegs[i] = make([]uint32, isa.WarpSize)
+	}
+	w.SRegs = make([]uint64, prog.AllocatedSRegs())
+	return w
+}
+
+// poison fills the register state with a recognizable garbage pattern.
+// Used when a preempted warp's slot is re-materialized at resume: any
+// register the resume routine fails to restore shows up as corruption in
+// the golden-output comparison instead of silently reading stale data.
+func (w *Warp) poison() {
+	const pat = 0xDEADBEEF
+	for _, vr := range w.VRegs {
+		for l := range vr {
+			vr[l] = pat
+		}
+	}
+	for i := range w.SRegs {
+		w.SRegs[i] = pat
+	}
+	w.Exec = 0
+	w.VCC = pat
+	w.SCC = true
+}
+
+// currentInstr returns the instruction the warp will issue next, given
+// its mode, or nil when the stream is exhausted.
+func (w *Warp) currentInstr() *isa.Instruction {
+	if w.Mode == ModeKernel {
+		if w.PC >= w.Prog.Len() {
+			return nil
+		}
+		return w.Prog.At(w.PC)
+	}
+	if w.routinePC >= len(w.routine) {
+		return nil
+	}
+	return &w.routine[w.routinePC]
+}
+
+// enterRoutine switches the warp into a routine stream.
+func (w *Warp) enterRoutine(mode ExecMode, instrs []isa.Instruction) {
+	w.Mode = mode
+	w.routine = instrs
+	w.routinePC = 0
+}
+
+// enterHook pushes an instrumentation stream; the previous mode resumes
+// when the hook stream ends. Hooks do not nest beyond one level by
+// construction (they are only injected in kernel mode).
+func (w *Warp) enterHook(instrs []isa.Instruction) {
+	w.savedMode = w.Mode
+	w.hookDepth++
+	w.enterRoutine(ModeHook, instrs)
+}
+
+// regReadyAt returns the cycle at which every register in regs is
+// available.
+func (w *Warp) regReadyAt(regs []isa.Reg) int64 {
+	var t int64
+	for _, r := range regs {
+		if rt, ok := w.regReady[r]; ok && rt > t {
+			t = rt
+		}
+	}
+	return t
+}
+
+func (w *Warp) setRegReady(r isa.Reg, cycle int64) {
+	w.regReady[r] = cycle
+}
+
+// activeLanes returns the number of set bits in EXEC.
+func (w *Warp) activeLanes() int {
+	n := 0
+	for m := w.Exec; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
