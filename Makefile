@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test check bench eval
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the PR gate: vet everything, then run the packages that carry
+# concurrency (the parallel harness and the simulator it drives) under
+# the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/harness/ ./internal/sim/
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/core/ ./internal/preempt/
+
+# Regenerate EXPERIMENTS.md from a full evaluation sweep.
+eval:
+	$(GO) run ./cmd/benchtab -all -samples 3 > eval_output.txt
+	./mk_experiments.sh

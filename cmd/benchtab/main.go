@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	benchtab [-quick] [-samples N] [-table1] [-fig7] [-fig8] [-fig9]
-//	         [-fig10] [-ablation] [-summary] [-all]
+//	benchtab [-quick] [-samples N] [-procs N] [-table1] [-fig7] [-fig8]
+//	         [-fig9] [-fig10] [-ablation] [-summary] [-all]
 package main
 
 import (
@@ -30,6 +30,7 @@ func main() {
 		qos        = flag.String("qos", "", "waiting-time distribution for one benchmark (e.g. -qos KM)")
 		contention = flag.String("contention", "", "BASELINE switch time vs busy SMs for one benchmark (e.g. -contention KM)")
 		all        = flag.Bool("all", false, "everything")
+		procs      = flag.Int("procs", 0, "episode workers: 0 = GOMAXPROCS, 1 = serial (identical numbers either way)")
 	)
 	flag.Parse()
 
@@ -40,6 +41,7 @@ func main() {
 	if *samples > 0 {
 		opts.Samples = *samples
 	}
+	opts.Parallelism = *procs
 	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *ablation || *summary || *qos != "" || *contention != "") {
 		*all = true
 	}
@@ -52,8 +54,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	// One Runner for every requested experiment: each kernel's golden
+	// run is simulated once and shared by Table I and Figs 8-10.
+	r := harness.NewRunner(opts)
+
 	if *table1 {
-		rows, err := harness.TableI(opts)
+		rows, err := r.TableI()
 		if err != nil {
 			fail(err)
 		}
@@ -63,7 +69,7 @@ func main() {
 	var f7, f8, f9, f10 *harness.Figure
 	var err error
 	if *fig7 || *summary {
-		if f7, err = harness.Fig7(opts); err != nil {
+		if f7, err = r.Fig7(); err != nil {
 			fail(err)
 		}
 		if *fig7 {
@@ -71,7 +77,7 @@ func main() {
 		}
 	}
 	if *fig8 || *fig9 || *summary {
-		if f8, f9, err = harness.MeasureDynamic(opts); err != nil {
+		if f8, f9, err = r.MeasureDynamic(); err != nil {
 			fail(err)
 		}
 		if *fig8 {
@@ -82,7 +88,7 @@ func main() {
 		}
 	}
 	if *fig10 || *summary {
-		if f10, err = harness.Fig10(opts); err != nil {
+		if f10, err = r.Fig10(); err != nil {
 			fail(err)
 		}
 		if *fig10 {
@@ -90,7 +96,7 @@ func main() {
 		}
 	}
 	if *ablation {
-		rows, err := harness.Ablation(opts)
+		rows, err := r.Ablation()
 		if err != nil {
 			fail(err)
 		}
@@ -100,11 +106,11 @@ func main() {
 		fmt.Println(harness.RenderSummary(harness.Summarize(f7, f8, f9, f10)))
 	}
 	if *qos != "" {
-		r, err := harness.WaitDistribution(opts, *qos, max(opts.Samples*3, 9))
+		res, err := r.WaitDistribution(*qos, max(opts.Samples*3, 9))
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(harness.RenderQoS(r))
+		fmt.Println(harness.RenderQoS(res))
 	}
 	if *contention != "" {
 		rows, err := harness.ContentionSweep(opts, *contention)

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"ctxback/internal/kernels"
@@ -28,8 +29,12 @@ func main() {
 		warps   = flag.Int("warps", 2, "warps per block")
 		iters   = flag.Int("iters", 16, "main-loop iterations per warp")
 		trace   = flag.Int("trace", 0, "print the last N executed instructions of the preempted run")
+		procs   = flag.Int("procs", 0, "cap GOMAXPROCS (0 = leave at the runtime default)")
 	)
 	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)

@@ -11,9 +11,15 @@ type verRef struct {
 	ver version
 }
 
-// analyzer runs the window analysis for a single (P, Q) pair.
+// analyzer runs the window analysis for a single (P, Q) pair. Register
+// state is held in flat slices indexed by progInfo.regID — the search
+// runs this analysis for thousands of windows per program, and
+// Reg-keyed maps (struct hashing, random iteration) dominated its cost.
+// Iteration over registers always follows seedOrder or sorted live-in
+// sets, so the produced plan is deterministic.
 type analyzer struct {
 	prog  *isa.Program
+	info  *progInfo
 	live  *liveness.Info
 	feats Feature
 	// osrb maps backed-up registers to their spare registers; only
@@ -24,20 +30,24 @@ type analyzer struct {
 	p, q int
 	n    int
 
-	defsOf map[isa.Reg][]int // ascending window indices defining reg
-	usesOf map[isa.Reg][]int // ascending window indices reading reg
+	defsOf [][]int // by regID: ascending window indices defining reg
+	usesOf [][]int // by regID: ascending window indices reading reg
 	// Per-instruction caches (computed once; the fixpoint re-reads them
 	// every round).
 	needs [][]verRef  // resolved versioned operand reads
-	idefs [][]isa.Reg // defined registers
+	idefs [][]isa.Reg // defined registers (aliases into info.defs)
 
 	status    []Status
-	initSrc   map[isa.Reg]InitSource
-	revertPos map[isa.Reg]int // for InitRevertResume
+	seeded    []bool       // by regID: register participates in the window
+	seedOrder []isa.Reg    // registers in first-seeded order
+	initSrc   []InitSource // by regID; zero value is InitUnavailable
+	revertPos []int        // by regID, for InitRevertResume
 
-	preemptReverts []PreemptRevert
-	resumeReverts  map[isa.Reg]ResumeRevert
-	preemptState   map[isa.Reg]version // simulated state during preempt reverts
+	preemptReverts  []PreemptRevert
+	resumeReverts   []ResumeRevert // by regID
+	hasResumeRevert []bool
+	preemptState    []version // by regID: simulated state during preempt reverts
+	hasPreemptState []bool
 }
 
 // AnalyzeWindow builds (and validates) the plan for executing context
@@ -48,14 +58,20 @@ func AnalyzeWindow(prog *isa.Program, live *liveness.Info, p, q int, feats Featu
 	if q > p || q < 0 {
 		return nil
 	}
+	info := infoFor(prog)
+	nids := info.numRegIDs()
 	a := &analyzer{
-		prog: prog, live: live, feats: feats, osrb: osrb,
+		prog: prog, info: info, live: live, feats: feats, osrb: osrb,
 		p: p, q: q, n: p - q,
-		defsOf:        make(map[isa.Reg][]int),
-		initSrc:       make(map[isa.Reg]InitSource),
-		revertPos:     make(map[isa.Reg]int),
-		resumeReverts: make(map[isa.Reg]ResumeRevert),
-		preemptState:  make(map[isa.Reg]version),
+		defsOf:          make([][]int, nids),
+		usesOf:          make([][]int, nids),
+		seeded:          make([]bool, nids),
+		initSrc:         make([]InitSource, nids),
+		revertPos:       make([]int, nids),
+		resumeReverts:   make([]ResumeRevert, nids),
+		hasResumeRevert: make([]bool, nids),
+		preemptState:    make([]version, nids),
+		hasPreemptState: make([]bool, nids),
 	}
 	a.status = make([]Status, a.n)
 	a.buildDefs()
@@ -75,28 +91,37 @@ func AnalyzeWindow(prog *isa.Program, live *liveness.Info, p, q int, feats Featu
 
 func (a *analyzer) instr(i int) *isa.Instruction { return a.prog.At(a.q + i) }
 
+func (a *analyzer) id(r isa.Reg) int { return a.info.regID(r) }
+
 func (a *analyzer) buildDefs() {
 	a.idefs = make([][]isa.Reg, a.n)
 	for i := 0; i < a.n; i++ {
-		a.idefs[i] = a.instr(i).Defs(nil)
+		a.idefs[i] = a.info.defs[a.q+i]
 		for _, r := range a.idefs[i] {
-			a.defsOf[r] = append(a.defsOf[r], i)
+			id := a.id(r)
+			a.defsOf[id] = append(a.defsOf[id], i)
 		}
 	}
 	a.needs = make([][]verRef, a.n)
-	a.usesOf = make(map[isa.Reg][]int)
 	for i := 0; i < a.n; i++ {
-		for _, r := range a.instr(i).Uses(nil) {
-			a.needs[i] = append(a.needs[i], verRef{reg: r, ver: a.ver(i, r)})
-			a.usesOf[r] = append(a.usesOf[r], i)
+		uses := a.info.uses[a.q+i]
+		if len(uses) == 0 {
+			continue
 		}
+		refs := make([]verRef, len(uses))
+		for j, r := range uses {
+			refs[j] = verRef{reg: r, ver: a.ver(i, r)}
+			id := a.id(r)
+			a.usesOf[id] = append(a.usesOf[id], i)
+		}
+		a.needs[i] = refs
 	}
 }
 
 // ver returns the version of reg at window position i (before instr i
 // executes); i == n gives the version at P.
 func (a *analyzer) ver(i int, reg isa.Reg) version {
-	defs := a.defsOf[reg]
+	defs := a.defsOf[a.id(reg)]
 	v := verInit
 	for _, d := range defs {
 		if d < i {
@@ -125,11 +150,12 @@ func (a *analyzer) operandNeeds(i int) []verRef { return a.needs[i] }
 // replay position pos.
 func (a *analyzer) availAt(ref verRef, pos int) bool {
 	if ref.ver == verInit {
-		switch a.initSrc[ref.reg] {
+		id := a.id(ref.reg)
+		switch a.initSrc[id] {
 		case InitDirect, InitRevertPreempt, InitOSRB:
 			return true
 		case InitRevertResume:
-			return a.revertPos[ref.reg] <= pos
+			return a.revertPos[id] <= pos
 		}
 		return false
 	}
@@ -144,20 +170,23 @@ func (a *analyzer) classify() {
 	// Seed init availability: registers never defined in the window keep
 	// their flashback-point values in the physical file.
 	seedInit := func(reg isa.Reg) {
-		if _, done := a.initSrc[reg]; done {
+		id := a.id(reg)
+		if a.seeded[id] {
 			return
 		}
-		if len(a.defsOf[reg]) == 0 {
-			a.initSrc[reg] = InitDirect
+		a.seeded[id] = true
+		a.seedOrder = append(a.seedOrder, reg)
+		if len(a.defsOf[id]) == 0 {
+			a.initSrc[id] = InitDirect
 			return
 		}
 		if a.feats&FeatOSRB != 0 {
 			if _, ok := a.osrb[reg]; ok {
-				a.initSrc[reg] = InitOSRB
+				a.initSrc[id] = InitOSRB
 				return
 			}
 		}
-		a.initSrc[reg] = InitUnavailable
+		a.initSrc[id] = InitUnavailable
 	}
 	for i := 0; i < a.n; i++ {
 		for _, ref := range a.needs[i] {
@@ -167,7 +196,7 @@ func (a *analyzer) classify() {
 			seedInit(r)
 		}
 	}
-	for r := range a.live.LiveIn[a.p] {
+	for _, r := range a.live.LiveIn[a.p].Sorted() {
 		seedInit(r)
 	}
 
@@ -192,8 +221,8 @@ func (a *analyzer) classify() {
 			}
 		}
 		if a.feats&FeatRevert != 0 {
-			for reg, src := range a.initSrc {
-				if src != InitUnavailable {
+			for _, reg := range a.seedOrder {
+				if a.initSrc[a.id(reg)] != InitUnavailable {
 					continue
 				}
 				if a.tryRevert(reg) {
@@ -261,14 +290,15 @@ func (a *analyzer) defNeededSomewhere(i int, reg isa.Reg) bool {
 	if a.ver(a.n, reg) == version(i) && a.live.LiveIn[a.p].Has(reg) {
 		return true
 	}
+	id := a.id(reg)
 	next := a.n
-	for _, d := range a.defsOf[reg] {
+	for _, d := range a.defsOf[id] {
 		if d > i {
 			next = d
 			break
 		}
 	}
-	for _, u := range a.usesOf[reg] {
+	for _, u := range a.usesOf[id] {
 		if u > i && u <= next {
 			return true
 		}
@@ -301,7 +331,7 @@ func (a *analyzer) revertExtraRefs(k int) ([]verRef, bool) {
 // tryRevert attempts to make reg's flashback-point value available via
 // instruction reverting (Algorithm 2), preferring the preemption stage.
 func (a *analyzer) tryRevert(reg isa.Reg) bool {
-	defs := a.defsOf[reg]
+	defs := a.defsOf[a.id(reg)]
 	if len(defs) == 0 {
 		return false
 	}
@@ -316,14 +346,14 @@ func (a *analyzer) tryRevert(reg isa.Reg) bool {
 func (a *analyzer) tryRevertAtPreempt(reg isa.Reg, defs []int) bool {
 	// Tentative simulation on a copy of the state.
 	state := func(r isa.Reg) version {
-		if v, ok := a.preemptState[r]; ok {
-			return v
+		if id := a.id(r); a.hasPreemptState[id] {
+			return a.preemptState[id]
 		}
 		return a.lastDef(r)
 	}
-	tentative := make(map[isa.Reg]version)
+	tentative := make(map[int]version)
 	get := func(r isa.Reg) version {
-		if v, ok := tentative[r]; ok {
+		if v, ok := tentative[a.id(r)]; ok {
 			return v
 		}
 		return state(r)
@@ -345,18 +375,19 @@ func (a *analyzer) tryRevertAtPreempt(reg isa.Reg, defs []int) bool {
 				return false
 			}
 		}
-		tentative[reg] = a.ver(k, reg)
+		tentative[a.id(reg)] = a.ver(k, reg)
 		revs = append(revs, PreemptRevert{K: k, Instr: rev})
 	}
 	if get(reg) != verInit {
 		return false
 	}
 	// Commit.
-	for r, v := range tentative {
-		a.preemptState[r] = v
+	for id, v := range tentative {
+		a.preemptState[id] = v
+		a.hasPreemptState[id] = true
 	}
 	a.preemptReverts = append(a.preemptReverts, revs...)
-	a.initSrc[reg] = InitRevertPreempt
+	a.initSrc[a.id(reg)] = InitRevertPreempt
 	return true
 }
 
@@ -392,9 +423,11 @@ func (a *analyzer) tryRevertAtResume(reg isa.Reg, defs []int) bool {
 			}
 		}
 		if ok {
-			a.initSrc[reg] = InitRevertResume
-			a.revertPos[reg] = pos
-			a.resumeReverts[reg] = ResumeRevert{Pos: pos, Instr: rev, SlotReg: reg, SlotVer: version(k)}
+			id := a.id(reg)
+			a.initSrc[id] = InitRevertResume
+			a.revertPos[id] = pos
+			a.resumeReverts[id] = ResumeRevert{Pos: pos, Instr: rev, SlotReg: reg, SlotVer: version(k)}
+			a.hasResumeRevert[id] = true
 			return true
 		}
 	}
@@ -408,7 +441,7 @@ func (a *analyzer) firstInitUse(reg isa.Reg) int {
 		if a.ver(i, reg) != verInit {
 			break
 		}
-		for _, u := range a.instr(i).Uses(nil) {
+		for _, u := range a.info.uses[a.q+i] {
 			if u == reg {
 				return i
 			}
@@ -433,24 +466,28 @@ func (a *analyzer) buildPlan() *Plan {
 		plan.Status[i] = StatusSkip // only needed instructions replay
 	}
 
-	processed := make(map[verRef]bool)
+	// processed is keyed by (regID, version) packed into one int; the
+	// version range is [-1, n).
+	processed := make(map[int]bool)
 	var queue []verRef
 	push := func(ref verRef) {
-		if !processed[ref] {
-			processed[ref] = true
+		key := a.id(ref.reg)*(a.n+1) + int(ref.ver) + 1
+		if !processed[key] {
+			processed[key] = true
 			queue = append(queue, ref)
 		}
 	}
-	for r := range a.live.LiveIn[a.p] {
+	for _, r := range a.live.LiveIn[a.p].Sorted() {
 		push(verRef{reg: r, ver: a.ver(a.n, r)})
 	}
 
-	needRevert := make(map[isa.Reg]bool)
+	var needRevert []isa.Reg
 	for len(queue) > 0 {
 		ref := queue[0]
 		queue = queue[1:]
 		if ref.ver == verInit {
-			src := a.initSrc[ref.reg]
+			id := a.id(ref.reg)
+			src := a.initSrc[id]
 			switch src {
 			case InitDirect, InitRevertPreempt:
 				plan.InitRegs[ref.reg] = src
@@ -458,9 +495,10 @@ func (a *analyzer) buildPlan() *Plan {
 				plan.InitRegs[ref.reg] = src
 				plan.OSRB[ref.reg] = a.osrb[ref.reg]
 			case InitRevertResume:
+				// processed dedupes (reg, verInit), so reg appears once.
+				needRevert = append(needRevert, ref.reg)
 				plan.InitRegs[ref.reg] = src
-				needRevert[ref.reg] = true
-				rr := a.resumeReverts[ref.reg]
+				rr := a.resumeReverts[id]
 				// The revert consumes the saved def-version slot and its
 				// extra operands at the placement position.
 				extras, _ := a.revertExtraRefs(int(rr.SlotVer))
@@ -489,8 +527,8 @@ func (a *analyzer) buildPlan() *Plan {
 			return nil
 		}
 	}
-	for reg := range needRevert {
-		plan.ResumeReverts = append(plan.ResumeReverts, a.resumeReverts[reg])
+	for _, reg := range needRevert {
+		plan.ResumeReverts = append(plan.ResumeReverts, a.resumeReverts[a.id(reg)])
 	}
 	sortResumeReverts(plan.ResumeReverts)
 

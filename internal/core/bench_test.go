@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"ctxback/internal/cfg"
+	"ctxback/internal/isa"
+	"ctxback/internal/liveness"
+)
+
+// benchAnalyzeProgram is a loop kernel with enough definitions, reverts
+// and reload candidates that AnalyzeWindow exercises Algorithms 1 & 2
+// (classification fixpoint plus instruction reverting).
+func benchAnalyzeProgram(b *testing.B) *isa.Program {
+	b.Helper()
+	p, err := isa.Assemble(`
+.kernel benchanalyze
+.vregs 12
+.sregs 16
+  v_laneid v0
+  v_mov v1, 0
+  v_mov v2, 1
+loop:
+  v_add v1, v1, v2
+  v_mul v3, v1, 5
+  v_xor v4, v3, 0xF
+  v_add v5, v4, v0
+  v_shl v6, v5, 1 !noovf
+  v_sub v7, v6, v2
+  v_add v2, v2, 1
+  s_add s2, s2, 4
+  s_sub s0, s0, 1
+  s_cmp_gt s0, 0
+  s_cbranch_scc1 loop
+  v_add v8, v7, s2
+  v_gstore v9, v8, 0
+  s_endpgm
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkCoreAnalyze measures the full CTXBack compile (flashback-point
+// selection over every PC, i.e. repeated AnalyzeWindow runs of
+// Algorithms 1 & 2). Run with -benchmem to watch allocation regressions.
+func BenchmarkCoreAnalyze(b *testing.B) {
+	prog := benchAnalyzeProgram(b)
+	for b.Loop() {
+		if _, err := Compile(prog, FeatAll); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(prog.Len()), "instrs")
+}
+
+// BenchmarkAnalyzeWindow isolates one window analysis (the paper's
+// Algorithms 1 & 2 for a single (P, Q) pair) from the selection sweep.
+func BenchmarkAnalyzeWindow(b *testing.B) {
+	prog := benchAnalyzeProgram(b)
+	g, err := cfg.Build(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := liveness.Analyze(g)
+	// A mid-loop window: signal at the loop's last body instruction,
+	// flashback to its first.
+	p, q := 9, 3
+	if AnalyzeWindow(prog, live, p, q, FeatAll, nil) == nil {
+		b.Fatalf("window (%d,%d) unexpectedly infeasible", p, q)
+	}
+	for b.Loop() {
+		AnalyzeWindow(prog, live, p, q, FeatAll, nil)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync"
+
+	"ctxback/internal/isa"
+)
+
+// progInfo caches per-PC decode output — each instruction's defined and
+// used registers — plus a dense register numbering. The flashback
+// search calls AnalyzeWindow for thousands of (P, Q) windows per
+// program, and every window used to re-derive Defs/Uses for each
+// instruction it covers and hash isa.Reg structs for every map touch;
+// both showed up as the dominant cost of Compile on large kernels. The
+// decode tables are immutable and shared; the numbering lets the
+// analyzer use flat slices instead of Reg-keyed maps.
+type progInfo struct {
+	defs [][]isa.Reg // defs[pc]: registers instruction pc defines
+	uses [][]isa.Reg // uses[pc]: registers instruction pc reads
+	nv   int         // allocated vector registers
+	ns   int         // allocated scalar registers (includes spares)
+}
+
+// regID maps a register to a dense index in [0, numRegIDs()): vector
+// registers first, then scalars (including alignment spares), then the
+// three specials.
+func (pi *progInfo) regID(r isa.Reg) int {
+	switch r.Class {
+	case isa.RegVector:
+		return int(r.Index)
+	case isa.RegScalar:
+		return pi.nv + int(r.Index)
+	default:
+		return pi.nv + pi.ns + int(r.Index)
+	}
+}
+
+func (pi *progInfo) numRegIDs() int { return pi.nv + pi.ns + 3 }
+
+var progInfoCache sync.Map // *isa.Program -> *progInfo
+
+// infoFor returns the memoized decode tables for prog. Concurrent first
+// callers may both compute; the tables are deterministic so either
+// value is valid and LoadOrStore picks one.
+func infoFor(prog *isa.Program) *progInfo {
+	if v, ok := progInfoCache.Load(prog); ok {
+		return v.(*progInfo)
+	}
+	n := prog.Len()
+	pi := &progInfo{
+		defs: make([][]isa.Reg, n),
+		uses: make([][]isa.Reg, n),
+		nv:   prog.AllocatedVRegs(),
+		ns:   prog.AllocatedSRegs(),
+	}
+	for pc := 0; pc < n; pc++ {
+		in := prog.At(pc)
+		pi.defs[pc] = in.Defs(nil)
+		pi.uses[pc] = in.Uses(nil)
+	}
+	got, _ := progInfoCache.LoadOrStore(prog, pi)
+	return got.(*progInfo)
+}

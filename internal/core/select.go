@@ -71,8 +71,16 @@ func CompileWindow(prog *isa.Program, feats Feature, maxWindow int) (*Compiled, 
 		MaxWindow: maxWindow,
 	}
 
+	// Live-in context size per PC, computed once: the candidate search
+	// reads it O(window) times per selectPlan call, and summing the
+	// live-in RegSet on every read dominated the flashback search.
+	cb := make([]int, prog.Len())
+	for pc := range cb {
+		cb[pc] = live.ContextBytes(pc)
+	}
+
 	if feats&FeatOSRB != 0 {
-		c.OSRB = chooseOSRB(prog, graph, live, feats, maxWindow)
+		c.OSRB = chooseOSRB(prog, graph, live, cb, feats, maxWindow)
 	}
 
 	n := prog.Len()
@@ -81,7 +89,7 @@ func CompileWindow(prog *isa.Program, feats Feature, maxWindow int) (*Compiled, 
 	c.ResumeRoutines = make([][]isa.Instruction, n)
 	shared := make(map[string]int)
 	for pc := 0; pc < n; pc++ {
-		plan := selectPlan(prog, graph, live, pc, feats, c.OSRB, maxWindow)
+		plan := selectPlan(prog, graph, live, cb, pc, feats, c.OSRB, maxWindow)
 		if plan == nil {
 			return nil, fmt.Errorf("core: no plan for pc %d (even the empty window failed)", pc)
 		}
@@ -171,11 +179,12 @@ func filterOSRB(prog *isa.Program, blockStart, q int, osrb map[isa.Reg]isa.Reg) 
 	if len(osrb) == 0 {
 		return nil
 	}
+	defs := infoFor(prog).defs
 	out := make(map[isa.Reg]isa.Reg, len(osrb))
 	for r, spare := range osrb {
 		fresh := true
 		for pc := blockStart; pc < q && fresh; pc++ {
-			for _, d := range prog.At(pc).Defs(nil) {
+			for _, d := range defs[pc] {
 				if d == r {
 					fresh = false
 					break
@@ -189,14 +198,14 @@ func filterOSRB(prog *isa.Program, blockStart, q int, osrb map[isa.Reg]isa.Reg) 
 	return out
 }
 
-func selectPlan(prog *isa.Program, graph *cfg.Graph, live *liveness.Info, p int, feats Feature, osrb map[isa.Reg]isa.Reg, maxWindow int) *Plan {
+func selectPlan(prog *isa.Program, graph *cfg.Graph, live *liveness.Info, cb []int, p int, feats Feature, osrb map[isa.Reg]isa.Reg, maxWindow int) *Plan {
 	head := graph.FlashbackHead(p)
 	if p-head > maxWindow {
 		head = p - maxWindow
 	}
 	blockStart := graph.BlockOf(p).Start
 	var best *Plan
-	for _, q := range candidateQs(live, head, p) {
+	for _, q := range candidateQs(cb, head, p) {
 		filtered := filterOSRB(prog, blockStart, q, osrb)
 		plan := AnalyzeWindow(prog, live, p, q, feats, filtered)
 		if plan != nil && betterPlan(plan, best) {
@@ -216,8 +225,8 @@ const maxCandidates = 8
 // paper's observation about which points win (§IV-A) and what keeps
 // whole-block windows affordable. Plateaus contribute only their point
 // nearest to p, and only the maxCandidates smallest minima are kept.
-func candidateQs(live *liveness.Info, head, p int) []int {
-	bytesAt := func(i int) int { return live.ContextBytes(i) }
+func candidateQs(cb []int, head, p int) []int {
+	bytesAt := func(i int) int { return cb[i] }
 	// Running minimum from p backwards: a further flashback-point is
 	// only worth the extra re-execution when its context is strictly
 	// smaller than every nearer point's.
@@ -243,7 +252,7 @@ func candidateQs(live *liveness.Info, head, p int) []int {
 // register hypothetically backed up, observes which backups the winning
 // plans would actually use, and assigns the available spare registers
 // (allocation-alignment padding, paper §III-D) to the most valuable.
-func chooseOSRB(prog *isa.Program, graph *cfg.Graph, live *liveness.Info, feats Feature, maxWindow int) map[isa.Reg]isa.Reg {
+func chooseOSRB(prog *isa.Program, graph *cfg.Graph, live *liveness.Info, cb []int, feats Feature, maxWindow int) map[isa.Reg]isa.Reg {
 	spares := spareRegs(prog)
 	if len(spares) == 0 {
 		return nil
@@ -260,8 +269,8 @@ func chooseOSRB(prog *isa.Program, graph *cfg.Graph, live *liveness.Info, feats 
 
 	benefit := make(map[isa.Reg]int64)
 	for pc := 0; pc < prog.Len(); pc++ {
-		base := selectPlan(prog, graph, live, pc, feats&^FeatOSRB, nil, maxWindow)
-		with := selectPlan(prog, graph, live, pc, feats, trial, maxWindow)
+		base := selectPlan(prog, graph, live, cb, pc, feats&^FeatOSRB, nil, maxWindow)
+		with := selectPlan(prog, graph, live, cb, pc, feats, trial, maxWindow)
 		if base == nil || with == nil {
 			continue
 		}

@@ -14,10 +14,37 @@ type symVal struct {
 	ver version
 }
 
-func (v symVal) valid() bool { return v.reg.Valid() }
+// symTab maps physical registers to abstract values, stored flat by
+// progInfo.regID (the validator replays thousands of plans per compile;
+// Reg-keyed maps dominated its cost). Registers never written read
+// through base — or poison (zero symVal) when base is nil.
+type symTab struct {
+	info *progInfo
+	vals []symVal
+	set  []bool
+	base func(isa.Reg) symVal
+}
 
-// symState maps physical registers to abstract values.
-type symState map[isa.Reg]symVal
+func newSymTab(info *progInfo, base func(isa.Reg) symVal) *symTab {
+	n := info.numRegIDs()
+	return &symTab{info: info, vals: make([]symVal, n), set: make([]bool, n), base: base}
+}
+
+func (t *symTab) get(r isa.Reg) symVal {
+	if id := t.info.regID(r); t.set[id] {
+		return t.vals[id]
+	}
+	if t.base != nil {
+		return t.base(r)
+	}
+	return symVal{}
+}
+
+func (t *symTab) put(r isa.Reg, v symVal) {
+	id := t.info.regID(r)
+	t.vals[id] = v
+	t.set[id] = true
+}
 
 // slotKey identifies a context-buffer slot in the validator.
 type slotKey struct {
@@ -29,15 +56,17 @@ type slotKey struct {
 // materializing per-position states: verAt(i, r) is the version of r
 // just before window instruction i executes.
 type winIndex struct {
-	defsOf map[isa.Reg][]int
+	info   *progInfo
+	defsOf [][]int // by regID
 	n      int
 }
 
-func newWinIndex(prog *isa.Program, q, n int) *winIndex {
-	w := &winIndex{defsOf: make(map[isa.Reg][]int), n: n}
+func newWinIndex(info *progInfo, q, n int) *winIndex {
+	w := &winIndex{info: info, defsOf: make([][]int, info.numRegIDs()), n: n}
 	for i := 0; i < n; i++ {
-		for _, r := range prog.At(q + i).Defs(nil) {
-			w.defsOf[r] = append(w.defsOf[r], i)
+		for _, r := range info.defs[q+i] {
+			id := info.regID(r)
+			w.defsOf[id] = append(w.defsOf[id], i)
 		}
 	}
 	return w
@@ -45,7 +74,7 @@ func newWinIndex(prog *isa.Program, q, n int) *winIndex {
 
 func (w *winIndex) verAt(i int, r isa.Reg) version {
 	v := verInit
-	for _, d := range w.defsOf[r] {
+	for _, d := range w.defsOf[w.info.regID(r)] {
 		if d < i {
 			v = version(d)
 		} else {
@@ -68,19 +97,14 @@ func (w *winIndex) valAt(i int, r isa.Reg) symVal { return symVal{reg: r, ver: w
 // (the selector only offers backups whose copy equals the value at Q).
 func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 	n := plan.WindowLen()
+	info := infoFor(prog)
 	instr := func(i int) *isa.Instruction { return prog.At(plan.Q + i) }
-	idx := newWinIndex(prog, plan.Q, n)
+	idx := newWinIndex(info, plan.Q, n)
 
 	// --- Preemption stage ---
-	// st starts as the state at P; registers absent from st hold their
+	// st starts as the state at P; registers never written hold their
 	// at-P version implicitly.
-	st := make(symState)
-	getP := func(r isa.Reg) symVal {
-		if v, ok := st[r]; ok {
-			return v
-		}
-		return idx.valAt(n, r)
-	}
+	st := newSymTab(info, func(r isa.Reg) symVal { return idx.valAt(n, r) })
 	slots := make(map[slotKey]symVal)
 
 	// 1. Save reload slots and resume-revert source slots from the
@@ -88,7 +112,7 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 	for i, regs := range plan.ReloadRegs {
 		for r := range regs {
 			want := symVal{reg: r, ver: version(i)}
-			if got := getP(r); got != want {
+			if got := st.get(r); got != want {
 				return fmt.Errorf("reload slot (%s,v%d): physical holds %v at preemption", r, i, got)
 			}
 			slots[slotKey{r, version(i)}] = want
@@ -96,7 +120,7 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 	}
 	for _, rr := range plan.ResumeReverts {
 		want := symVal{reg: rr.SlotReg, ver: rr.SlotVer}
-		if got := getP(rr.SlotReg); got != want {
+		if got := st.get(rr.SlotReg); got != want {
 			return fmt.Errorf("revert slot (%s,v%d): physical holds %v at preemption", rr.SlotReg, rr.SlotVer, got)
 		}
 		slots[slotKey{rr.SlotReg, rr.SlotVer}] = want
@@ -104,7 +128,7 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 
 	// 2. Execute preemption-stage reverts in order.
 	for _, pr := range plan.PreemptReverts {
-		if err := applyRevert(st, getP, idx, instr, pr.K, pr.Instr); err != nil {
+		if err := applyRevert(st, idx, instr, pr.K, pr.Instr); err != nil {
 			return fmt.Errorf("preempt revert of window[%d]: %w", pr.K, err)
 		}
 	}
@@ -114,7 +138,7 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 	for r, src := range plan.InitRegs {
 		switch src {
 		case InitDirect, InitRevertPreempt:
-			got := getP(r)
+			got := st.get(r)
 			if got != (symVal{reg: r, ver: verInit}) {
 				return fmt.Errorf("init save of %s (%v): holds %v after reverts", r, src, got)
 			}
@@ -130,12 +154,11 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 	}
 
 	// --- Resume stage ---
-	// rst is explicit: registers absent are poison.
-	rst := make(symState)
+	// rst is explicit: registers never restored are poison.
+	rst := newSymTab(info, nil)
 	for r, v := range initSlots {
-		rst[r] = v
+		rst.put(r, v)
 	}
-	getR := func(r isa.Reg) symVal { return rst[r] } // zero symVal = poison
 
 	revertAt := make(map[int][]ResumeRevert)
 	for _, rr := range plan.ResumeReverts {
@@ -148,8 +171,8 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 			if !ok {
 				return fmt.Errorf("resume revert at %d: slot (%s,v%d) never saved", pos, rr.SlotReg, rr.SlotVer)
 			}
-			rst[rr.SlotReg] = v
-			if err := applyRevert(rst, getR, idx, instr, int(rr.SlotVer), rr.Instr); err != nil {
+			rst.put(rr.SlotReg, v)
+			if err := applyRevert(rst, idx, instr, int(rr.SlotVer), rr.Instr); err != nil {
 				return fmt.Errorf("resume revert at %d: %w", pos, err)
 			}
 		}
@@ -159,15 +182,15 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 		switch plan.Status[pos] {
 		case StatusReExec:
 			in := instr(pos)
-			for _, u := range in.Uses(nil) {
+			for _, u := range info.uses[plan.Q+pos] {
 				want := idx.valAt(pos, u)
-				if got := getR(u); got != want {
+				if got := rst.get(u); got != want {
 					return fmt.Errorf("re-exec window[%d] (%s): operand %s holds %v, want %v",
 						pos, in, u, got, want)
 				}
 			}
-			for _, d := range in.Defs(nil) {
-				rst[d] = symVal{reg: d, ver: version(pos)}
+			for _, d := range info.defs[plan.Q+pos] {
+				rst.put(d, symVal{reg: d, ver: version(pos)})
 			}
 		case StatusReload:
 			for r := range plan.ReloadRegs[pos] {
@@ -175,7 +198,7 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 				if !ok {
 					return fmt.Errorf("reload window[%d]: slot (%s,v%d) never saved", pos, r, pos)
 				}
-				rst[r] = v
+				rst.put(r, v)
 			}
 		case StatusSkip:
 			// Either a durable side effect or a dead instruction.
@@ -187,7 +210,7 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 	// Final check: R_cur restored exactly.
 	for r := range live.LiveIn[plan.P] {
 		want := idx.valAt(n, r)
-		if got := getR(r); got != want {
+		if got := rst.get(r); got != want {
 			return fmt.Errorf("live-in %s at P: restored %v, want %v", r, got, want)
 		}
 	}
@@ -195,18 +218,18 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 }
 
 // applyRevert checks and applies the revert of window instruction k on a
-// state (read through get, written through st): the recovered register
-// must hold k's result, every extra operand must hold its value as of
-// k's execution, and the recovered register becomes the pre-k value.
-func applyRevert(st symState, get func(isa.Reg) symVal, idx *winIndex, instr func(int) *isa.Instruction, k int, rev isa.Instruction) error {
+// state: the recovered register must hold k's result, every extra
+// operand must hold its value as of k's execution, and the recovered
+// register becomes the pre-k value.
+func applyRevert(st *symTab, idx *winIndex, instr func(int) *isa.Instruction, k int, rev isa.Instruction) error {
 	orig := instr(k)
 	dst := orig.Dst
-	if cur := get(dst); cur != (symVal{reg: dst, ver: version(k)}) {
+	if cur := st.get(dst); cur != (symVal{reg: dst, ver: version(k)}) {
 		return fmt.Errorf("register %s holds %v, not the result of window[%d]", dst, cur, k)
 	}
 	check := func(x isa.Reg) error {
 		want := idx.valAt(k, x)
-		if got := get(x); got != want {
+		if got := st.get(x); got != want {
 			return fmt.Errorf("revert operand %s holds %v, want %v", x, got, want)
 		}
 		return nil
@@ -223,6 +246,6 @@ func applyRevert(st symState, get func(isa.Reg) symVal, idx *winIndex, instr fun
 			return err
 		}
 	}
-	st[dst] = idx.valAt(k, dst)
+	st.put(dst, idx.valAt(k, dst))
 	return nil
 }

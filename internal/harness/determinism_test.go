@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelDeterminism runs the full figure suite serially and on a
+// 4-wide worker pool and asserts every reported number is bit-identical.
+// This is the guarantee that lets -procs default to GOMAXPROCS without
+// perturbing Table I or Figs 7-10.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure suite, twice")
+	}
+	run := func(par int) (rows []TableIRow, figs []*Figure) {
+		o := QuickOptions()
+		o.Parallelism = par
+		r := NewRunner(o)
+		rows, err := r.TableI()
+		if err != nil {
+			t.Fatalf("parallelism %d: TableI: %v", par, err)
+		}
+		f7, err := r.Fig7()
+		if err != nil {
+			t.Fatalf("parallelism %d: Fig7: %v", par, err)
+		}
+		f8, f9, err := r.MeasureDynamic()
+		if err != nil {
+			t.Fatalf("parallelism %d: MeasureDynamic: %v", par, err)
+		}
+		f10, err := r.Fig10()
+		if err != nil {
+			t.Fatalf("parallelism %d: Fig10: %v", par, err)
+		}
+		return rows, []*Figure{f7, f8, f9, f10}
+	}
+
+	serialRows, serialFigs := run(1)
+	parRows, parFigs := run(4)
+
+	if !reflect.DeepEqual(serialRows, parRows) {
+		t.Errorf("Table I diverges between serial and parallel:\nserial:   %+v\nparallel: %+v", serialRows, parRows)
+	}
+	for i := range serialFigs {
+		s, p := serialFigs[i], parFigs[i]
+		if !reflect.DeepEqual(s.Abbrevs, p.Abbrevs) {
+			t.Errorf("%s: abbrev order diverges: %v vs %v", s.Title, s.Abbrevs, p.Abbrevs)
+		}
+		if len(s.SeriesBy) != len(p.SeriesBy) {
+			t.Fatalf("%s: series count diverges: %d vs %d", s.Title, len(s.SeriesBy), len(p.SeriesBy))
+		}
+		for j := range s.SeriesBy {
+			ss, ps := s.SeriesBy[j], p.SeriesBy[j]
+			if ss.Mean != ps.Mean {
+				t.Errorf("%s/%s: mean diverges: %v vs %v", s.Title, ss.Label, ss.Mean, ps.Mean)
+			}
+			if !reflect.DeepEqual(ss.Values, ps.Values) {
+				t.Errorf("%s/%s: values diverge:\nserial:   %v\nparallel: %v", s.Title, ss.Label, ss.Values, ps.Values)
+			}
+		}
+	}
+}
+
+// TestRunnerSharesGoldenRuns checks the Runner memoizes prepare(): the
+// second experiment on the same Runner must reuse the already-simulated
+// golden runs rather than re-preparing every kernel.
+func TestRunnerSharesGoldenRuns(t *testing.T) {
+	o := QuickOptions()
+	r := NewRunner(o)
+	if err := r.prepareAll(); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]*prepared, len(r.prep))
+	for i := range r.prep {
+		before[i] = r.prep[i].p
+	}
+	if _, err := r.TableI(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.prep {
+		if r.prep[i].p != before[i] {
+			t.Errorf("kernel %d: prepared workload was rebuilt instead of reused", i)
+		}
+	}
+}

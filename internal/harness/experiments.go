@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"math"
 
 	"ctxback/internal/core"
 	"ctxback/internal/kernels"
@@ -17,32 +18,33 @@ type TableIRow struct {
 	Warps                         int // victims preempted per episode
 }
 
+// TableI runs the Table I experiment on a one-shot Runner.
+func TableI(o Options) ([]TableIRow, error) { return NewRunner(o).TableI() }
+
 // TableI measures the BASELINE context-switch times for every benchmark
-// (paper Table I).
-func TableI(o Options) ([]TableIRow, error) {
-	var rows []TableIRow
-	for _, f := range kernels.Registry() {
-		p, err := o.prepare(f)
-		if err != nil {
-			return nil, err
-		}
-		st, err := o.measureAvg(p, preempt.Baseline)
-		if err != nil {
-			return nil, err
-		}
+// (paper Table I), fanning the episodes across the worker pool.
+func (r *Runner) TableI() ([]TableIRow, error) {
+	avg, err := r.measureMatrix([]preempt.Kind{preempt.Baseline})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]TableIRow, len(r.prep))
+	for i := range r.prep {
+		p := r.prep[i].p
+		st := avg[i][0]
 		prog := p.wl.Prog
-		rows = append(rows, TableIRow{
+		rows[i] = TableIRow{
 			Abbrev:         p.wl.Abbrev,
 			Name:           p.wl.FullName,
 			VRegKB:         float64(prog.VRegContextBytes()) / 1024,
 			SRegKB:         float64(prog.SRegContextBytes()) / 1024,
 			LDSKB:          float64(prog.LDSBytes) / 1024,
-			PreemptUs:      o.Cfg.CyclesToMicros(st.PreemptCycles),
-			ResumeUs:       o.Cfg.CyclesToMicros(st.ResumeCycles),
+			PreemptUs:      r.o.Cfg.CyclesToMicros(st.PreemptCycles),
+			ResumeUs:       r.o.Cfg.CyclesToMicros(st.ResumeCycles),
 			PaperPreemptUs: p.wl.PaperPreemptUs,
 			PaperResumeUs:  p.wl.PaperResumeUs,
 			Warps:          st.Victims,
-		})
+		}
 	}
 	return rows, nil
 }
@@ -63,58 +65,83 @@ type Figure struct {
 	SeriesBy []Series
 }
 
+// geomeanOrMean is the geometric mean — the right average for the
+// normalized ratios of Figs 7-9, where the arithmetic mean overweights
+// the benchmarks a technique helps least. It falls back to the
+// arithmetic mean when any value is non-positive (Fig 10's overhead
+// fractions can legitimately be 0).
 func geomeanOrMean(vals []float64) float64 {
 	if len(vals) == 0 {
 		return 0
 	}
-	sum := 0.0
+	logSum := 0.0
 	for _, v := range vals {
-		sum += v
+		if v <= 0 {
+			sum := 0.0
+			for _, v := range vals {
+				sum += v
+			}
+			return sum / float64(len(vals))
+		}
+		logSum += math.Log(v)
 	}
-	return sum / float64(len(vals))
+	return math.Exp(logSum / float64(len(vals)))
 }
+
+// Fig7 runs the context-size experiment on a one-shot Runner.
+func Fig7(o Options) (*Figure, error) { return NewRunner(o).Fig7() }
 
 // Fig7 computes the normalized context size per benchmark (static
 // analysis, averaged over the instructions of the kernel, plus each
 // warp's LDS share which every technique must swap). The CKPT series is
 // the checkpoint size — the paper's dashed "minimum possible size".
-func Fig7(o Options) (*Figure, error) {
-	fig := &Figure{Title: "Fig 7: normalized context size", Unit: "x BASELINE"}
-	perKind := make(map[preempt.Kind]map[string]float64)
-	for _, k := range preempt.Kinds() {
-		perKind[k] = make(map[string]float64)
-	}
-	for _, f := range kernels.Registry() {
-		wl, err := f(o.Params)
+// Kernels are analyzed in parallel; the per-kernel work is pure static
+// analysis so no golden run is needed.
+func (r *Runner) Fig7() (*Figure, error) {
+	kinds := preempt.Kinds()
+	reg := kernels.Registry()
+	abbrevs := make([]string, len(reg))
+	bytesPer := make([][]float64, len(reg)) // [kernel][kind] mean context bytes
+	err := r.runJobs(len(reg), func(ki int) error {
+		wl, err := reg[ki](r.o.Params)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fig.Abbrevs = append(fig.Abbrevs, wl.Abbrev)
+		abbrevs[ki] = wl.Abbrev
 		ldsShare := 0
 		if wl.Prog.LDSBytes > 0 {
-			ldsShare = wl.Prog.LDSBytes / o.Params.WarpsPerBlock
+			ldsShare = wl.Prog.LDSBytes / r.o.Params.WarpsPerBlock
 		}
-		techs := make(map[preempt.Kind]preempt.Technique)
-		for _, k := range preempt.Kinds() {
+		row := make([]float64, len(kinds))
+		for kj, k := range kinds {
 			t, err := preempt.New(k, wl.Prog)
 			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", wl.Abbrev, k, err)
+				return fmt.Errorf("%s/%v: %w", wl.Abbrev, k, err)
 			}
-			techs[k] = t
-		}
-		for _, k := range preempt.Kinds() {
 			var sum float64
 			for pc := 0; pc < wl.Prog.Len(); pc++ {
-				sum += float64(techs[k].StaticContextBytes(pc) + ldsShare)
+				sum += float64(t.StaticContextBytes(pc) + ldsShare)
 			}
-			perKind[k][wl.Abbrev] = sum / float64(wl.Prog.Len())
+			row[kj] = sum / float64(wl.Prog.Len())
+		}
+		bytesPer[ki] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{Title: "Fig 7: normalized context size", Unit: "x BASELINE", Abbrevs: abbrevs}
+	baseIdx := 0
+	for kj, k := range kinds {
+		if k == preempt.Baseline {
+			baseIdx = kj
 		}
 	}
-	for _, k := range preempt.Kinds() {
+	for kj, k := range kinds {
 		s := Series{Kind: k, Label: k.String(), Values: make(map[string]float64)}
 		var vals []float64
-		for _, ab := range fig.Abbrevs {
-			v := perKind[k][ab] / perKind[preempt.Baseline][ab]
+		for ki, ab := range abbrevs {
+			v := bytesPer[ki][kj] / bytesPer[ki][baseIdx]
 			s.Values[ab] = v
 			vals = append(vals, v)
 		}
@@ -124,40 +151,40 @@ func Fig7(o Options) (*Figure, error) {
 	return fig, nil
 }
 
+// MeasureDynamic runs the preemption experiments on a one-shot Runner.
+func MeasureDynamic(o Options) (fig8, fig9 *Figure, err error) {
+	return NewRunner(o).MeasureDynamic()
+}
+
 // MeasureDynamic runs the preemption experiments once and derives both
 // Fig 8 (preemption time) and Fig 9 (resume time) from the same
-// episodes.
-func MeasureDynamic(o Options) (fig8, fig9 *Figure, err error) {
+// episodes. Every (kernel, technique, sample) episode runs on the
+// worker pool; the fold back into figures is in registry order.
+func (r *Runner) MeasureDynamic() (fig8, fig9 *Figure, err error) {
+	kinds := preempt.Kinds()
+	avg, err := r.measureMatrix(kinds)
+	if err != nil {
+		return nil, nil, err
+	}
 	fig8 = &Figure{Title: "Fig 8: normalized preemption time", Unit: "x BASELINE"}
 	fig9 = &Figure{Title: "Fig 9: normalized resume time", Unit: "x BASELINE"}
-	pre := make(map[preempt.Kind]map[string]float64)
-	res := make(map[preempt.Kind]map[string]float64)
-	for _, k := range preempt.Kinds() {
-		pre[k] = make(map[string]float64)
-		res[k] = make(map[string]float64)
+	for i := range r.prep {
+		ab := r.prep[i].p.wl.Abbrev
+		fig8.Abbrevs = append(fig8.Abbrevs, ab)
+		fig9.Abbrevs = append(fig9.Abbrevs, ab)
 	}
-	for _, f := range kernels.Registry() {
-		p, err := o.prepare(f)
-		if err != nil {
-			return nil, nil, err
-		}
-		fig8.Abbrevs = append(fig8.Abbrevs, p.wl.Abbrev)
-		fig9.Abbrevs = append(fig9.Abbrevs, p.wl.Abbrev)
-		for _, k := range preempt.Kinds() {
-			st, err := o.measureAvg(p, k)
-			if err != nil {
-				return nil, nil, err
-			}
-			pre[k][p.wl.Abbrev] = float64(st.PreemptCycles)
-			res[k][p.wl.Abbrev] = float64(st.ResumeCycles)
+	baseIdx := 0
+	for kj, k := range kinds {
+		if k == preempt.Baseline {
+			baseIdx = kj
 		}
 	}
-	fill := func(fig *Figure, data map[preempt.Kind]map[string]float64) {
-		for _, k := range preempt.Kinds() {
+	fill := func(fig *Figure, get func(EpisodeStats) int64) {
+		for kj, k := range kinds {
 			s := Series{Kind: k, Label: k.String(), Values: make(map[string]float64)}
 			var vals []float64
-			for _, ab := range fig.Abbrevs {
-				v := data[k][ab] / data[preempt.Baseline][ab]
+			for ki, ab := range fig.Abbrevs {
+				v := float64(get(avg[ki][kj])) / float64(get(avg[ki][baseIdx]))
 				s.Values[ab] = v
 				vals = append(vals, v)
 			}
@@ -165,8 +192,8 @@ func MeasureDynamic(o Options) (fig8, fig9 *Figure, err error) {
 			fig.SeriesBy = append(fig.SeriesBy, s)
 		}
 	}
-	fill(fig8, pre)
-	fill(fig9, res)
+	fill(fig8, func(st EpisodeStats) int64 { return st.PreemptCycles })
+	fill(fig9, func(st EpisodeStats) int64 { return st.ResumeCycles })
 	return fig8, fig9, nil
 }
 
@@ -183,39 +210,48 @@ func Fig9(o Options) (*Figure, error) {
 	return f9, err
 }
 
+// Fig10 runs the runtime-overhead experiment on a one-shot Runner.
+func Fig10(o Options) (*Figure, error) { return NewRunner(o).Fig10() }
+
 // Fig10 measures the runtime overhead of the two techniques that do work
 // during normal execution: CKPT's checkpoint stores and CTXBack's OSRB
-// copies.
-func Fig10(o Options) (*Figure, error) {
-	fig := &Figure{Title: "Fig 10: runtime overhead", Unit: "fraction of clean runtime"}
+// copies. The clean and instrumented full runs of every kernel are
+// independent simulations, so all of them go to the worker pool.
+func (r *Runner) Fig10() (*Figure, error) {
+	if err := r.prepareAll(); err != nil {
+		return nil, err
+	}
 	kinds := []preempt.Kind{preempt.Ckpt, preempt.CTXBack}
-	perKind := make(map[preempt.Kind]map[string]float64)
-	for _, k := range kinds {
-		perKind[k] = make(map[string]float64)
+	nk := len(r.prep)
+	runs := 1 + len(kinds) // clean + one per instrumented kind
+	cycles := make([]int64, nk*runs)
+	err := r.runJobs(nk*runs, func(f int) error {
+		ki, j := f/runs, f%runs
+		p := r.prep[ki].p
+		var c int64
+		var err error
+		if j == 0 {
+			c, err = r.o.runtimeCycles(p, preempt.Baseline, false)
+		} else {
+			c, err = r.o.runtimeCycles(p, kinds[j-1], true)
+		}
+		cycles[f] = c
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, f := range kernels.Registry() {
-		p, err := o.prepare(f)
-		if err != nil {
-			return nil, err
-		}
-		fig.Abbrevs = append(fig.Abbrevs, p.wl.Abbrev)
-		clean, err := o.runtimeCycles(p, preempt.Baseline, false)
-		if err != nil {
-			return nil, err
-		}
-		for _, k := range kinds {
-			with, err := o.runtimeCycles(p, k, true)
-			if err != nil {
-				return nil, err
-			}
-			perKind[k][p.wl.Abbrev] = float64(with-clean) / float64(clean)
-		}
+	fig := &Figure{Title: "Fig 10: runtime overhead", Unit: "fraction of clean runtime"}
+	for i := range r.prep {
+		fig.Abbrevs = append(fig.Abbrevs, r.prep[i].p.wl.Abbrev)
 	}
-	for _, k := range kinds {
+	for kj, k := range kinds {
 		s := Series{Kind: k, Label: k.String(), Values: make(map[string]float64)}
 		var vals []float64
-		for _, ab := range fig.Abbrevs {
-			v := perKind[k][ab]
+		for ki, ab := range fig.Abbrevs {
+			clean := cycles[ki*runs]
+			with := cycles[ki*runs+1+kj]
+			v := float64(with-clean) / float64(clean)
 			s.Values[ab] = v
 			vals = append(vals, v)
 		}
@@ -233,39 +269,56 @@ type AblationRow struct {
 	MeanRatio float64 // mean normalized context vs BASELINE
 }
 
+// Ablation runs the feature-ablation study on a one-shot Runner.
+func Ablation(o Options) ([]AblationRow, error) { return NewRunner(o).Ablation() }
+
 // Ablation quantifies each of CTXBack's three techniques (DESIGN.md
-// call-out): strict condition only, +relaxed, +reverting, +OSRB.
-func Ablation(o Options) ([]AblationRow, error) {
+// call-out): strict condition only, +relaxed, +reverting, +OSRB. Each
+// (combo, kernel) compilation is an independent static analysis, so the
+// full cross product goes to the worker pool.
+func (r *Runner) Ablation() ([]AblationRow, error) {
 	combos := []core.Feature{
 		0,
 		core.FeatRelaxed,
 		core.FeatRelaxed | core.FeatRevert,
 		core.FeatAll,
 	}
-	var rows []AblationRow
-	for _, feats := range combos {
-		var ratios []float64
-		for _, f := range kernels.Registry() {
-			wl, err := f(o.Params)
-			if err != nil {
-				return nil, err
-			}
-			c, err := core.Compile(wl.Prog, feats)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", wl.Abbrev, feats, err)
-			}
-			base, err := preempt.New(preempt.Baseline, wl.Prog)
-			if err != nil {
-				return nil, err
-			}
-			var sum, sumBase float64
-			for pc := 0; pc < wl.Prog.Len(); pc++ {
-				sum += float64(c.Plans[pc].ContextBytes)
-				sumBase += float64(base.StaticContextBytes(pc))
-			}
-			ratios = append(ratios, sum/sumBase)
+	reg := kernels.Registry()
+	nk := len(reg)
+	ratios := make([]float64, len(combos)*nk)
+	err := r.runJobs(len(ratios), func(f int) error {
+		ci, ki := f/nk, f%nk
+		feats := combos[ci]
+		wl, err := reg[ki](r.o.Params)
+		if err != nil {
+			return err
 		}
-		rows = append(rows, AblationRow{Feats: feats, Label: feats.String(), MeanRatio: geomeanOrMean(ratios)})
+		c, err := core.Compile(wl.Prog, feats)
+		if err != nil {
+			return fmt.Errorf("%s/%v: %w", wl.Abbrev, feats, err)
+		}
+		base, err := preempt.New(preempt.Baseline, wl.Prog)
+		if err != nil {
+			return err
+		}
+		var sum, sumBase float64
+		for pc := 0; pc < wl.Prog.Len(); pc++ {
+			sum += float64(c.Plans[pc].ContextBytes)
+			sumBase += float64(base.StaticContextBytes(pc))
+		}
+		ratios[f] = sum / sumBase
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AblationRow, len(combos))
+	for ci, feats := range combos {
+		rows[ci] = AblationRow{
+			Feats:     feats,
+			Label:     feats.String(),
+			MeanRatio: geomeanOrMean(ratios[ci*nk : (ci+1)*nk]),
+		}
 	}
 	return rows, nil
 }

@@ -26,6 +26,10 @@ type Options struct {
 	// the output against the CPU golden reference.
 	Verify    bool
 	MaxCycles int64
+	// Parallelism is the episode worker-pool width: 0 uses GOMAXPROCS,
+	// 1 is the legacy serial path, n>1 forces n workers. Reported
+	// numbers are identical at every setting; only wall-clock changes.
+	Parallelism int
 }
 
 // DefaultOptions is the configuration used for EXPERIMENTS.md.
@@ -181,33 +185,19 @@ func samplePoints(golden int64, n int) []int64 {
 	return pts
 }
 
-// measureAvg averages episode stats over the sample points.
+// measureAvg averages episode stats over the sample points (the serial
+// path; the Runner's matrix fold shares foldEpisodes with it).
 func (o *Options) measureAvg(p *prepared, kind preempt.Kind) (EpisodeStats, error) {
 	pts := samplePoints(p.goldenCycles, o.Samples)
-	var sum EpisodeStats
-	count := 0
-	for _, pt := range pts {
+	eps := make([]episodeResult, len(pts))
+	for i, pt := range pts {
 		st, ok, err := o.measure(p, kind, pt)
+		eps[i] = episodeResult{st: st, ok: ok, err: err}
 		if err != nil {
-			return EpisodeStats{}, err
+			break
 		}
-		if !ok {
-			continue
-		}
-		sum.PreemptCycles += st.PreemptCycles
-		sum.ResumeCycles += st.ResumeCycles
-		sum.SavedBytes += st.SavedBytes
-		sum.Victims += st.Victims
-		count++
 	}
-	if count == 0 {
-		return EpisodeStats{}, fmt.Errorf("%s/%v: no sample point hit a running SM", p.wl.Abbrev, kind)
-	}
-	sum.PreemptCycles /= int64(count)
-	sum.ResumeCycles /= int64(count)
-	sum.SavedBytes /= int64(count)
-	sum.Victims /= count
-	return sum, nil
+	return foldEpisodes(p.wl.Abbrev, kind, eps)
 }
 
 // runtimeCycles measures full-kernel execution with (or without) a

@@ -26,58 +26,76 @@ type QoSResult struct {
 	Rows    []QoSRow
 }
 
+// WaitDistribution runs the distribution study on a one-shot Runner.
+func WaitDistribution(o Options, abbrev string, n int) (*QoSResult, error) {
+	return NewRunner(o).WaitDistribution(abbrev, n)
+}
+
 // WaitDistribution preempts the kernel at n points spread across its
 // whole runtime and reports the preemption-latency distribution per
 // technique. Unlike Fig 8 (means, normalized), this surfaces the tail.
-func WaitDistribution(o Options, abbrev string, n int) (*QoSResult, error) {
-	var factory kernels.Factory
-	for _, f := range kernels.Registry() {
-		wl, err := f(o.Params)
+// The (technique, arrival point) episodes all run on the worker pool;
+// statistics fold in sample order so the reported distribution matches
+// the serial path exactly.
+func (r *Runner) WaitDistribution(abbrev string, n int) (*QoSResult, error) {
+	ki := -1
+	for i, f := range kernels.Registry() {
+		wl, err := f(r.o.Params)
 		if err != nil {
 			return nil, err
 		}
 		if wl.Abbrev == abbrev {
-			factory = f
+			ki = i
 			break
 		}
 	}
-	if factory == nil {
+	if ki < 0 {
 		return nil, fmt.Errorf("harness: unknown benchmark %q", abbrev)
 	}
-	p, err := o.prepare(factory)
+	p, err := r.preparedFor(ki)
 	if err != nil {
 		return nil, err
 	}
-	res := &QoSResult{Abbrev: abbrev, Samples: n}
+	var kinds []preempt.Kind
 	for _, kind := range preempt.ExtendedKinds() {
 		if _, err := preempt.New(kind, p.wl.Prog); err != nil {
 			continue // e.g. SM-flushing on a non-idempotent kernel
 		}
+		kinds = append(kinds, kind)
+	}
+	results := make([]episodeResult, len(kinds)*n)
+	r.runJobs(len(results), func(f int) error {
+		kj, i := f/n, f%n
+		frac := 0.05 + 0.9*float64(i)/float64(max(n-1, 1))
+		st, ok, err := r.o.measure(p, kinds[kj], int64(frac*float64(p.goldenCycles)))
+		results[f] = episodeResult{st: st, ok: ok, err: err}
+		return nil // errors surface below, in serial order
+	})
+	res := &QoSResult{Abbrev: abbrev, Samples: n}
+	for kj, kind := range kinds {
 		var waits, resumes []float64
 		for i := 0; i < n; i++ {
-			frac := 0.05 + 0.9*float64(i)/float64(max(n-1, 1))
-			st, ok, err := o.measure(p, kind, int64(frac*float64(p.goldenCycles)))
-			if err != nil {
-				return nil, err
+			e := results[kj*n+i]
+			if e.err != nil {
+				return nil, e.err
 			}
-			if !ok {
+			if !e.ok {
 				continue
 			}
-			waits = append(waits, o.Cfg.CyclesToMicros(st.PreemptCycles))
-			resumes = append(resumes, o.Cfg.CyclesToMicros(st.ResumeCycles))
+			waits = append(waits, r.o.Cfg.CyclesToMicros(e.st.PreemptCycles))
+			resumes = append(resumes, r.o.Cfg.CyclesToMicros(e.st.ResumeCycles))
 		}
 		if len(waits) == 0 {
 			continue
 		}
 		sort.Float64s(waits)
-		row := QoSRow{
+		res.Rows = append(res.Rows, QoSRow{
 			Kind:         kind,
 			MeanUs:       mean(waits),
 			P95Us:        percentile(waits, 0.95),
 			MaxUs:        waits[len(waits)-1],
 			ResumeMeanUs: mean(resumes),
-		}
-		res.Rows = append(res.Rows, row)
+		})
 	}
 	return res, nil
 }

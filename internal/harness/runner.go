@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ctxback/internal/kernels"
+	"ctxback/internal/preempt"
+)
+
+// Runner is the parallel evaluation engine behind the experiments. It
+// owns two responsibilities the plain Options functions cannot:
+//
+//   - Golden-run memoization: prepare() (grid sizing + uninterrupted
+//     golden simulation) is computed once per registry kernel and shared
+//     read-only by every experiment on the same Runner, so an -all sweep
+//     no longer re-simulates each golden run per figure.
+//
+//   - Episode scheduling: every (kernel, technique, sample) episode is
+//     an independent deterministic simulation on its own Device, so the
+//     Runner fans them out to a worker pool and folds the results back
+//     in the exact order the serial path used. Sums over int64 cycle
+//     counts are order-independent, and per-cell folds walk samples in
+//     index order, so reported numbers are bit-identical to Parallelism
+//     1 (covered by TestParallelDeterminism).
+//
+// Workloads are safe to share across concurrent Devices: factories
+// capture their inputs and golden outputs at construction, and
+// Init/WarpSetup/Verify only read them while writing per-episode device
+// state. Technique compilation behind preempt.New is memoized per
+// program with sync.Map (see internal/preempt/cache.go).
+type Runner struct {
+	o    Options
+	prep []prepEntry // one slot per kernels.Registry() index
+}
+
+type prepEntry struct {
+	once sync.Once
+	p    *prepared
+	err  error
+}
+
+// NewRunner builds a Runner over the full kernel registry.
+func NewRunner(o Options) *Runner {
+	return &Runner{o: o, prep: make([]prepEntry, len(kernels.Registry()))}
+}
+
+// Options returns the configuration the Runner was built with.
+func (r *Runner) Options() Options { return r.o }
+
+// procs resolves Options.Parallelism: 0 means GOMAXPROCS, 1 is the
+// legacy serial path, n>1 is an explicit worker count.
+func (o *Options) procs() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// preparedFor returns the memoized prepared workload for registry index
+// i. Concurrent callers block on the same sync.Once, so each golden run
+// is simulated exactly once per Runner.
+func (r *Runner) preparedFor(i int) (*prepared, error) {
+	e := &r.prep[i]
+	e.once.Do(func() {
+		e.p, e.err = r.o.prepare(kernels.Registry()[i])
+	})
+	return e.p, e.err
+}
+
+// runJobs executes jobs 0..n-1 across the worker pool and returns the
+// first error in job-index order (not completion order), so failures are
+// as deterministic as the results. With one worker it degenerates to the
+// legacy in-order loop.
+func (r *Runner) runJobs(n int, job func(i int) error) error {
+	procs := r.o.procs()
+	if procs > n {
+		procs = n
+	}
+	if procs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = job(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prepareAll forces every registry kernel's prepared workload, in
+// parallel. Experiments call this as their first phase so the episode
+// phase never blocks a worker on a golden run.
+func (r *Runner) prepareAll() error {
+	return r.runJobs(len(r.prep), func(i int) error {
+		_, err := r.preparedFor(i)
+		return err
+	})
+}
+
+// episodeResult is one measured (kernel, technique, sample) episode.
+type episodeResult struct {
+	st  EpisodeStats
+	ok  bool
+	err error
+}
+
+// foldEpisodes averages the episodes that hit a running SM, walking them
+// in sample order. Both the serial measureAvg path and the parallel
+// matrix fold go through here, so the two paths cannot diverge.
+func foldEpisodes(abbrev string, kind preempt.Kind, eps []episodeResult) (EpisodeStats, error) {
+	var sum EpisodeStats
+	count := 0
+	for _, e := range eps {
+		if e.err != nil {
+			return EpisodeStats{}, e.err
+		}
+		if !e.ok {
+			continue
+		}
+		sum.PreemptCycles += e.st.PreemptCycles
+		sum.ResumeCycles += e.st.ResumeCycles
+		sum.SavedBytes += e.st.SavedBytes
+		sum.Victims += e.st.Victims
+		count++
+	}
+	if count == 0 {
+		return EpisodeStats{}, fmt.Errorf("%s/%v: no sample point hit a running SM", abbrev, kind)
+	}
+	sum.PreemptCycles /= int64(count)
+	sum.ResumeCycles /= int64(count)
+	sum.SavedBytes /= int64(count)
+	sum.Victims /= count
+	return sum, nil
+}
+
+// measureMatrix measures every (registry kernel, kind, sample) episode
+// across the worker pool and folds each cell to its sample average.
+// avg[ki][kj] corresponds to Registry()[ki] under kinds[kj]. Episode
+// errors are reported in the serial path's order: cells in (kernel,
+// kind) order, samples in index order within a cell.
+func (r *Runner) measureMatrix(kinds []preempt.Kind) (avg [][]EpisodeStats, err error) {
+	if err := r.prepareAll(); err != nil {
+		return nil, err
+	}
+	nk := len(r.prep)
+	nt := len(kinds)
+	ns := r.o.Samples
+	if ns < 1 {
+		ns = 1 // samplePoints clamps the same way
+	}
+	results := make([]episodeResult, nk*nt*ns)
+	r.runJobs(len(results), func(f int) error {
+		ki := f / (nt * ns)
+		kj := (f / ns) % nt
+		si := f % ns
+		p := r.prep[ki].p
+		pts := samplePoints(p.goldenCycles, r.o.Samples)
+		st, ok, err := r.o.measure(p, kinds[kj], pts[si])
+		results[f] = episodeResult{st: st, ok: ok, err: err}
+		return nil // errors surface via foldEpisodes, in serial order
+	})
+	avg = make([][]EpisodeStats, nk)
+	for ki := 0; ki < nk; ki++ {
+		avg[ki] = make([]EpisodeStats, nt)
+		for kj := 0; kj < nt; kj++ {
+			cell := results[(ki*nt+kj)*ns : (ki*nt+kj+1)*ns]
+			st, err := foldEpisodes(r.prep[ki].p.wl.Abbrev, kinds[kj], cell)
+			if err != nil {
+				return nil, err
+			}
+			avg[ki][kj] = st
+		}
+	}
+	return avg, nil
+}

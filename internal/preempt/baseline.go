@@ -1,7 +1,6 @@
 package preempt
 
 import (
-	"ctxback/internal/cfg"
 	"ctxback/internal/isa"
 	"ctxback/internal/liveness"
 	"ctxback/internal/sim"
@@ -15,22 +14,13 @@ type baselineTech struct {
 	all  isa.RegSet
 }
 
-// NewBaseline compiles the BASELINE technique.
+// NewBaseline compiles the BASELINE technique. The swapped register set
+// is memoized per program and shared read-only across episodes.
 func NewBaseline(prog *isa.Program) (Technique, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	all := make(isa.RegSet)
-	for i := 0; i < prog.AllocatedVRegs(); i++ {
-		all.Add(isa.V(i))
-	}
-	for i := 0; i < prog.AllocatedSRegs(); i++ {
-		all.Add(isa.S(i))
-	}
-	all.Add(isa.Exec)
-	all.Add(isa.VCC)
-	all.Add(isa.SCC)
-	return &baselineTech{prog: prog, all: all}, nil
+	return &baselineTech{prog: prog, all: baselineRegs(prog)}, nil
 }
 
 func (t *baselineTech) Kind() Kind   { return Baseline }
@@ -60,13 +50,14 @@ type liveTech struct {
 	live *liveness.Info
 }
 
-// NewLive compiles the LIVE technique.
+// NewLive compiles the LIVE technique. Liveness is memoized per program
+// so episode-frequency construction never re-runs the dataflow pass.
 func NewLive(prog *isa.Program) (Technique, error) {
-	g, err := cfg.Build(prog)
+	a, err := analysisFor(prog)
 	if err != nil {
 		return nil, err
 	}
-	return &liveTech{prog: prog, live: liveness.Analyze(g)}, nil
+	return &liveTech{prog: prog, live: a.live}, nil
 }
 
 func (t *liveTech) Kind() Kind   { return Live }

@@ -1,9 +1,7 @@
 package preempt
 
 import (
-	"ctxback/internal/cfg"
 	"ctxback/internal/isa"
-	"ctxback/internal/liveness"
 	"ctxback/internal/sim"
 )
 
@@ -23,14 +21,11 @@ const DefaultCkptInterval = 16
 // boundaries.
 type ckptTech struct {
 	prog     *isa.Program
-	live     *liveness.Info
 	interval int
 
-	// site[blockID] is the PC with the smallest live-in context in that
-	// block; siteOf[pc] is a reverse lookup.
-	site   map[int]int
-	siteOf map[int]bool
-	forced map[int]bool // PCs requiring an unconditional snapshot
+	// Immutable compilation output (checkpoint sites, liveness), shared
+	// read-only across every episode of the same program.
+	static *ckptStatic
 
 	// Per-run mutable state.
 	visits map[int]map[int]int // warp id -> site pc -> visit count
@@ -38,25 +33,42 @@ type ckptTech struct {
 }
 
 // NewCKPT compiles the CKPT technique with the given block-execution
-// interval.
+// interval. The site/liveness compilation is memoized per (program,
+// interval); only the per-run snapshot state is fresh per instance.
 func NewCKPT(prog *isa.Program, interval int) (Technique, error) {
-	g, err := cfg.Build(prog)
+	st, err := ckptStaticFor(prog, interval)
 	if err != nil {
 		return nil, err
 	}
-	live := liveness.Analyze(g)
-	t := &ckptTech{
-		prog: prog, live: live, interval: interval,
+	return &ckptTech{
+		prog: prog, interval: interval, static: st,
+		visits: make(map[int]map[int]int),
+		last:   make(map[int]*sim.SavedContext),
+	}, nil
+}
+
+// ckptStaticFor builds (or returns the memoized) immutable part of a
+// CKPT compilation.
+func ckptStaticFor(prog *isa.Program, interval int) (*ckptStatic, error) {
+	key := ckptKey{prog: prog, interval: interval}
+	if st, ok := ckptCache.Load(key); ok {
+		return st.(*ckptStatic), nil
+	}
+	a, err := analysisFor(prog)
+	if err != nil {
+		return nil, err
+	}
+	g, live := a.graph, a.live
+	st := &ckptStatic{
+		live:   live,
 		site:   make(map[int]int),
 		siteOf: make(map[int]bool),
 		forced: make(map[int]bool),
-		visits: make(map[int]map[int]int),
-		last:   make(map[int]*sim.SavedContext),
 	}
 	for bi := range g.Blocks {
 		b := &g.Blocks[bi]
 		pc, _ := live.MinContextPC(b.Start, b.End)
-		t.site[b.ID] = pc
+		st.site[b.ID] = pc
 		// Blocks that write LDS get no periodic site: a snapshot taken
 		// between a cross-warp LDS write and its consuming barrier could
 		// capture a cut where the producer never replays (the classic
@@ -70,16 +82,17 @@ func NewCKPT(prog *isa.Program, interval int) (Technique, error) {
 			}
 		}
 		if !writesLDS {
-			t.siteOf[pc] = true
+			st.siteOf[pc] = true
 		}
 	}
 	for pc := 0; pc < prog.Len(); pc++ {
 		in := prog.At(pc)
 		if (in.Op.Info().Class == isa.ClassAtomic || in.Op == isa.SBarrier) && pc+1 < prog.Len() {
-			t.forced[pc+1] = true
+			st.forced[pc+1] = true
 		}
 	}
-	return t, nil
+	got, _ := ckptCache.LoadOrStore(key, st)
+	return got.(*ckptStatic), nil
 }
 
 func (t *ckptTech) Kind() Kind   { return Ckpt }
@@ -87,7 +100,7 @@ func (t *ckptTech) Name() string { return Ckpt.String() }
 
 // snapshotRegs is the context captured at pc.
 func (t *ckptTech) snapshotRegs(pc int) isa.RegSet {
-	regs := t.live.Context(pc)
+	regs := t.static.live.Context(pc)
 	regs.Add(isa.Exec)
 	regs.Add(isa.VCC)
 	regs.Add(isa.SCC)
@@ -105,9 +118,9 @@ func (t *ckptTech) Hook(w *sim.Warp, pc int) ([]isa.Instruction, *sim.SavedConte
 	case t.last[w.ID] == nil:
 		// Implicit checkpoint 0 at the first instruction the warp issues.
 		take = true
-	case t.forced[pc]:
+	case t.static.forced[pc]:
 		take = true
-	case t.siteOf[pc]:
+	case t.static.siteOf[pc]:
 		if t.visits[w.ID] == nil {
 			t.visits[w.ID] = make(map[int]int)
 		}
@@ -158,8 +171,8 @@ func (t *ckptTech) ResumeRoutine(w *sim.Warp) ([]isa.Instruction, *sim.SavedCont
 // paper's "minimum possible size" dashed line in Fig 7.
 func (t *ckptTech) StaticContextBytes(pc int) int {
 	// Find pc's block site via liveness graph.
-	b := t.live.Graph.BlockOf(pc)
-	return t.snapshotRegs(t.site[b.ID]).ContextBytes()
+	b := t.static.live.Graph.BlockOf(pc)
+	return t.snapshotRegs(t.static.site[b.ID]).ContextBytes()
 }
 
 // EstPreemptCycles: dropping is nearly free.

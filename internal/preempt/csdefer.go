@@ -22,18 +22,14 @@ type csdeferTech struct {
 // NewCSDefer compiles CS-Defer: for every PC, the minimum-live-context
 // instruction reachable by straight-line execution (same basic block, no
 // barrier or atomic crossed — the deferral runs inside the preemption
-// routine where block-wide synchronization would deadlock).
+// routine where block-wide synchronization would deadlock). Liveness and
+// the deferral-target table are memoized per program.
 func NewCSDefer(prog *isa.Program) (Technique, error) {
-	g, err := cfg.Build(prog)
+	a, err := analysisFor(prog)
 	if err != nil {
 		return nil, err
 	}
-	live := liveness.Analyze(g)
-	t := &csdeferTech{prog: prog, live: live, target: make([]int, prog.Len())}
-	for pc := 0; pc < prog.Len(); pc++ {
-		t.target[pc] = deferTarget(prog, g, live, pc)
-	}
-	return t, nil
+	return &csdeferTech{prog: prog, live: a.live, target: csdeferTargets(prog, a.graph, a.live)}, nil
 }
 
 func deferTarget(prog *isa.Program, g *cfg.Graph, live *liveness.Info, pc int) int {

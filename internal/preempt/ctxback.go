@@ -34,18 +34,35 @@ type compileKey struct {
 	feats   core.Feature
 }
 
+// ptrCompileCache is a fast path in front of compileCache: the harness
+// constructs a technique per episode against the same shared Program
+// value, and pointer identity skips re-encoding the program on every
+// construction.
+var ptrCompileCache sync.Map // ptrCompileKey -> *core.Compiled
+
+type ptrCompileKey struct {
+	prog  *isa.Program
+	feats core.Feature
+}
+
 // NewCTXBackFeatures compiles CTXBack with a feature subset (ablations).
 func NewCTXBackFeatures(prog *isa.Program, feats core.Feature) (Technique, error) {
+	pkey := ptrCompileKey{prog: prog, feats: feats}
+	if c, ok := ptrCompileCache.Load(pkey); ok {
+		return &ctxbackTech{prog: prog, compiled: c.(*core.Compiled)}, nil
+	}
 	key := compileKey{encoded: string(isa.EncodeProgram(prog)), feats: feats}
 	if c, ok := compileCache.Load(key); ok {
+		ptrCompileCache.LoadOrStore(pkey, c)
 		return &ctxbackTech{prog: prog, compiled: c.(*core.Compiled)}, nil
 	}
 	c, err := core.Compile(prog, feats)
 	if err != nil {
 		return nil, err
 	}
-	compileCache.Store(key, c)
-	return &ctxbackTech{prog: prog, compiled: c}, nil
+	got, _ := compileCache.LoadOrStore(key, c)
+	ptrCompileCache.LoadOrStore(pkey, got)
+	return &ctxbackTech{prog: prog, compiled: got.(*core.Compiled)}, nil
 }
 
 // Compiled exposes the underlying pass output (selection details,
@@ -102,6 +119,11 @@ type combinedTech struct {
 	useCTX []bool
 }
 
+// combinedCache memoizes the per-PC CTXBack-vs-CS-Defer choice: the
+// estimates are pure functions of the program, so the selection table is
+// shared read-only across episodes.
+var combinedCache sync.Map // *isa.Program -> []bool
+
 // NewCombined compiles CTXBack+CS-Defer.
 func NewCombined(prog *isa.Program) (Technique, error) {
 	ctx, err := NewCTXBack(prog)
@@ -112,10 +134,17 @@ func NewCombined(prog *isa.Program) (Technique, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &combinedTech{prog: prog, ctx: ctx, csd: csd, useCTX: make([]bool, prog.Len())}
-	for pc := 0; pc < prog.Len(); pc++ {
-		t.useCTX[pc] = ctx.EstPreemptCycles(pc) <= csd.EstPreemptCycles(pc)
+	t := &combinedTech{prog: prog, ctx: ctx, csd: csd}
+	if cached, ok := combinedCache.Load(prog); ok {
+		t.useCTX = cached.([]bool)
+		return t, nil
 	}
+	useCTX := make([]bool, prog.Len())
+	for pc := 0; pc < prog.Len(); pc++ {
+		useCTX[pc] = ctx.EstPreemptCycles(pc) <= csd.EstPreemptCycles(pc)
+	}
+	got, _ := combinedCache.LoadOrStore(prog, useCTX)
+	t.useCTX = got.([]bool)
 	return t, nil
 }
 

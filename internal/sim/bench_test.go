@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"ctxback/internal/isa"
+)
+
+// benchLoopProgram is a mixed-traffic kernel exercising the simulator's
+// hot loop: scalar and vector ALU, a data-dependent loop, LDS traffic and
+// global loads/stores — the instruction mix the Table I kernels present.
+func benchLoopProgram(b *testing.B) *isa.Program {
+	b.Helper()
+	p, err := isa.Assemble(`
+.kernel benchloop
+.vregs 8
+.sregs 16
+.lds 512
+  ; s0 = loop count, s1 = out base (bytes)
+  v_laneid v0
+  v_mov v1, 0
+  v_shl v2, v0, 2 !noovf
+loop:
+  v_add v1, v1, s0
+  v_mul v3, v1, 3
+  v_and v3, v3, 0x7F
+  v_lstore v2, v3, 0
+  v_lload v4, v2, 0
+  v_add v1, v1, v4
+  s_add s2, s2, 7
+  s_and s2, s2, 0xFF
+  s_sub s0, s0, 1
+  s_cmp_gt s0, 0
+  s_cbranch_scc1 loop
+  v_add v2, v2, s1
+  v_gstore v2, v1, 0
+  s_endpgm
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkSimExecLoop measures the simulator's per-instruction cost on
+// the hot execute/issue path. Run with -benchmem: allocs/op is the
+// regression gate for the zero-allocation inner loop.
+func BenchmarkSimExecLoop(b *testing.B) {
+	prog := benchLoopProgram(b)
+	var instrs int64
+	for b.Loop() {
+		d := MustNewDevice(TestConfig())
+		_, err := d.Launch(LaunchSpec{
+			Prog: prog, NumBlocks: 4, WarpsPerBlock: 2,
+			Setup: func(w *Warp) {
+				w.SRegs[0] = 64 // loop count
+				w.SRegs[1] = uint64(4096 + w.ID*isa.WarpSize*4)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Run(1 << 40); err != nil {
+			b.Fatal(err)
+		}
+		instrs += d.Stats.Instructions
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(instrs)/secs, "sim_instrs/s")
+	}
+}

@@ -41,6 +41,7 @@ type Device struct {
 	Stats    DeviceStats
 
 	hazardScratch []isa.Reg
+	defsScratch   []isa.Reg
 }
 
 // DeviceStats aggregates device-wide counters.
@@ -323,6 +324,15 @@ func (d *Device) hazardRegs(in *isa.Instruction) []isa.Reg {
 	d.hazardScratch = in.Uses(d.hazardScratch)
 	d.hazardScratch = in.Defs(d.hazardScratch)
 	return d.hazardScratch
+}
+
+// defRegs collects in's defined registers into a device-owned scratch
+// slice — the issue path runs once per simulated instruction and must
+// not allocate.
+func (d *Device) defRegs(in *isa.Instruction) []isa.Reg {
+	d.defsScratch = d.defsScratch[:0]
+	d.defsScratch = in.Defs(d.defsScratch)
+	return d.defsScratch
 }
 
 // AdvanceTo fast-forwards the clock to cycle (no-op when already past).

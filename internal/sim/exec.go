@@ -211,22 +211,41 @@ func (d *Device) execVectorALU(w *Warp, in *isa.Instruction) {
 		return
 	}
 
+	// Resolve each source once: immediates and scalar registers are
+	// uniform across lanes, only vector registers vary. Hoisting this out
+	// of the lane loop removes two branches and a register-file decode
+	// per lane on the simulator's hottest path.
+	var av, bv, cv []uint32
+	var au, bu, cu uint32
+	n := in.NumSrcs()
+	if n >= 1 {
+		av, au = w.resolveVectorOperand(in.Srcs[0])
+	}
+	if n >= 2 {
+		bv, bu = w.resolveVectorOperand(in.Srcs[1])
+	}
+	if n >= 3 {
+		cv, cu = w.resolveVectorOperand(in.Srcs[2])
+	}
 	writesVCC := in.Op.Info().WritesVCC
+	var dst []uint32
+	if !writesVCC {
+		dst = w.VRegs[in.Dst.Index]
+	}
 	var newVCC uint64
 	for lane := 0; lane < isa.WarpSize; lane++ {
 		if w.Exec&(1<<uint(lane)) == 0 {
 			continue
 		}
-		var a, b, c uint32
-		n := in.NumSrcs()
-		if n >= 1 {
-			a = w.readLaneOperand(in.Srcs[0], lane)
+		a, b, c := au, bu, cu
+		if av != nil {
+			a = av[lane]
 		}
-		if n >= 2 {
-			b = w.readLaneOperand(in.Srcs[1], lane)
+		if bv != nil {
+			b = bv[lane]
 		}
-		if n >= 3 {
-			c = w.readLaneOperand(in.Srcs[2], lane)
+		if cv != nil {
+			c = cv[lane]
 		}
 		if writesVCC {
 			if vcmpLane(in.Op, a, b) {
@@ -234,11 +253,24 @@ func (d *Device) execVectorALU(w *Warp, in *isa.Instruction) {
 			}
 			continue
 		}
-		w.VRegs[in.Dst.Index][lane] = valuLane(w, in, lane, a, b, c)
+		dst[lane] = valuLane(w, in, lane, a, b, c)
 	}
 	if writesVCC {
 		w.VCC = newVCC
 	}
+}
+
+// resolveVectorOperand splits a vector-context source into its per-lane
+// slice (vector registers) or its lane-uniform value (immediates and
+// broadcast scalar registers).
+func (w *Warp) resolveVectorOperand(o isa.Operand) ([]uint32, uint32) {
+	if o.IsImm() {
+		return nil, o.Imm
+	}
+	if o.Reg.Class == isa.RegVector {
+		return w.VRegs[o.Reg.Index], 0
+	}
+	return nil, uint32(w.readScalarReg(o.Reg))
 }
 
 func vcmpLane(op isa.Op, a, b uint32) bool {
@@ -344,13 +376,26 @@ func (d *Device) execMemory(w *Warp, in *isa.Instruction) (effect, error) {
 		}
 		eff.memBytes = 4
 	case isa.VGLoad, isa.VGStore, isa.VGAtomicAdd:
+		addrV, addrU := w.resolveVectorOperand(in.Srcs[0])
+		var valV []uint32
+		var valU uint32
+		if in.Op != isa.VGLoad {
+			valV, valU = w.resolveVectorOperand(in.Srcs[1])
+		}
 		lanes := 0
 		for lane := 0; lane < isa.WarpSize; lane++ {
 			if w.Exec&(1<<uint(lane)) == 0 {
 				continue
 			}
 			lanes++
-			addr := w.readLaneOperand(in.Srcs[0], lane) + uint32(in.Imm0)
+			addr := addrU + uint32(in.Imm0)
+			if addrV != nil {
+				addr = addrV[lane] + uint32(in.Imm0)
+			}
+			val := valU
+			if valV != nil {
+				val = valV[lane]
+			}
 			switch in.Op {
 			case isa.VGLoad:
 				v, err := d.loadGlobal(w, in, addr)
@@ -359,7 +404,7 @@ func (d *Device) execMemory(w *Warp, in *isa.Instruction) (effect, error) {
 				}
 				w.VRegs[in.Dst.Index][lane] = v
 			case isa.VGStore:
-				if err := d.storeGlobal(w, in, addr, w.readLaneOperand(in.Srcs[1], lane)); err != nil {
+				if err := d.storeGlobal(w, in, addr, val); err != nil {
 					return eff, err
 				}
 			case isa.VGAtomicAdd:
@@ -367,7 +412,7 @@ func (d *Device) execMemory(w *Warp, in *isa.Instruction) (effect, error) {
 				if err != nil {
 					return eff, err
 				}
-				if err := d.storeGlobal(w, in, addr, old+w.readLaneOperand(in.Srcs[1], lane)); err != nil {
+				if err := d.storeGlobal(w, in, addr, old+val); err != nil {
 					return eff, err
 				}
 			}
@@ -377,13 +422,22 @@ func (d *Device) execMemory(w *Warp, in *isa.Instruction) (effect, error) {
 			eff.memBytes *= 2 // read + write
 		}
 	case isa.VLLoad, isa.VLStore:
+		addrV, addrU := w.resolveVectorOperand(in.Srcs[0])
+		var valV []uint32
+		var valU uint32
+		if in.Op == isa.VLStore {
+			valV, valU = w.resolveVectorOperand(in.Srcs[1])
+		}
 		lanes := 0
 		for lane := 0; lane < isa.WarpSize; lane++ {
 			if w.Exec&(1<<uint(lane)) == 0 {
 				continue
 			}
 			lanes++
-			addr := w.readLaneOperand(in.Srcs[0], lane) + uint32(in.Imm0)
+			addr := addrU + uint32(in.Imm0)
+			if addrV != nil {
+				addr = addrV[lane] + uint32(in.Imm0)
+			}
 			idx := int(addr) >> 2
 			if addr%4 != 0 || idx < 0 || idx >= len(w.LDS.Data) {
 				return eff, d.fault(w, in, "LDS address %#x out of range (lds %d bytes)", addr, len(w.LDS.Data)*4)
@@ -391,7 +445,11 @@ func (d *Device) execMemory(w *Warp, in *isa.Instruction) (effect, error) {
 			if in.Op == isa.VLLoad {
 				w.VRegs[in.Dst.Index][lane] = w.LDS.Data[idx]
 			} else {
-				w.LDS.Data[idx] = w.readLaneOperand(in.Srcs[1], lane)
+				val := valU
+				if valV != nil {
+					val = valV[lane]
+				}
+				w.LDS.Data[idx] = val
 			}
 		}
 		eff.ldsBytes = lanes * 4

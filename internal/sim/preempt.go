@@ -2,8 +2,6 @@ package sim
 
 import (
 	"fmt"
-
-	"ctxback/internal/isa"
 )
 
 // Episode is one preemption of an SM: every kernel-mode warp resident on
@@ -193,7 +191,7 @@ func (d *Device) Resume(ep *Episode) error {
 		w.Mode = ModeKernel // enterRoutine overrides; kept for clarity
 		w.enterRoutine(ModeResumeRoutine, instrs)
 		w.ReadyAt = start
-		w.regReady = make(map[isa.Reg]int64)
+		w.regReady.reset()
 		w.lastStoreDone = 0
 		w.candValid = false
 	}

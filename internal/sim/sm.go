@@ -140,7 +140,7 @@ func (sm *SM) issue(w *Warp, t int64) error {
 		if info.HasDst && in.Dst.Valid() {
 			w.setRegReady(in.Dst, done)
 		}
-		for _, r := range in.Defs(nil) {
+		for _, r := range d.defRegs(in) {
 			if r != in.Dst {
 				w.setRegReady(r, done)
 			}
@@ -194,10 +194,7 @@ func (sm *SM) issue(w *Warp, t int64) error {
 		w.ctx = nil
 		// The state is only restored once every outstanding restore load
 		// has landed.
-		restored := max(done, w.lastStoreDone)
-		for _, ready := range w.regReady {
-			restored = max(restored, ready)
-		}
+		restored := max(done, w.lastStoreDone, w.regReady.maxAll())
 		if rec := w.preemptRec; rec != nil && rec.ResumeComplete == 0 && w.DynCount >= rec.DynAtSignal {
 			rec.ResumeComplete = restored
 			sm.episode.onWarpResumed(w, rec.ResumeComplete)

@@ -61,8 +61,8 @@ type Warp struct {
 	State WarpState
 	// ReadyAt is the earliest cycle the warp may attempt its next issue.
 	ReadyAt int64
-	// regReady maps a register to the cycle its in-flight value lands.
-	regReady map[isa.Reg]int64
+	// regReady tracks, per register, the cycle its in-flight value lands.
+	regReady regClock
 	// DynCount counts retired kernel-mode instructions (logical
 	// progress); routine/hook instructions do not count.
 	DynCount int64
@@ -161,17 +161,102 @@ func newWarp(id, blockID, warpInBlk int, prog *isa.Program, lds *LDSBlock) *Warp
 		Prog:      prog,
 		LDS:       lds,
 		Exec:      ^uint64(0),
-		regReady:  make(map[isa.Reg]int64),
 	}
 	// Register files are sized to the allocated (alignment-padded)
 	// counts: the padding registers physically exist — OSRB stores
-	// backups there and BASELINE swaps them.
-	w.VRegs = make([][]uint32, prog.AllocatedVRegs())
+	// backups there and BASELINE swaps them. One backing array serves
+	// every vector register so warp creation stays cheap per episode.
+	nv := prog.AllocatedVRegs()
+	backing := make([]uint32, nv*isa.WarpSize)
+	w.VRegs = make([][]uint32, nv)
 	for i := range w.VRegs {
-		w.VRegs[i] = make([]uint32, isa.WarpSize)
+		w.VRegs[i] = backing[i*isa.WarpSize : (i+1)*isa.WarpSize : (i+1)*isa.WarpSize]
 	}
 	w.SRegs = make([]uint64, prog.AllocatedSRegs())
+	w.regReady.init(nv, prog.AllocatedSRegs())
 	return w
+}
+
+// regClock records, per architectural register, the cycle its in-flight
+// value becomes readable. It replaces a map: the scheduler consults it
+// for every operand of every issued instruction, so lookups must be flat
+// array indexing with no hashing or allocation.
+type regClock struct {
+	v    []int64
+	s    []int64
+	spec [numSpecRegs]int64
+}
+
+const numSpecRegs = 3 // EXEC, VCC, SCC
+
+func (c *regClock) init(numVRegs, numSRegs int) {
+	c.v = make([]int64, numVRegs)
+	c.s = make([]int64, numSRegs)
+}
+
+// reset forgets every in-flight value (warp re-materialization).
+func (c *regClock) reset() {
+	clear(c.v)
+	clear(c.s)
+	clear(c.spec[:])
+}
+
+func (c *regClock) get(r isa.Reg) int64 {
+	switch r.Class {
+	case isa.RegVector:
+		if int(r.Index) < len(c.v) {
+			return c.v[r.Index]
+		}
+	case isa.RegScalar:
+		if int(r.Index) < len(c.s) {
+			return c.s[r.Index]
+		}
+	case isa.RegSpecial:
+		if int(r.Index) < numSpecRegs {
+			return c.spec[r.Index]
+		}
+	}
+	return 0
+}
+
+func (c *regClock) set(r isa.Reg, cycle int64) {
+	switch r.Class {
+	case isa.RegVector:
+		if int(r.Index) >= len(c.v) {
+			c.v = append(c.v, make([]int64, int(r.Index)+1-len(c.v))...)
+		}
+		c.v[r.Index] = cycle
+	case isa.RegScalar:
+		if int(r.Index) >= len(c.s) {
+			c.s = append(c.s, make([]int64, int(r.Index)+1-len(c.s))...)
+		}
+		c.s[r.Index] = cycle
+	case isa.RegSpecial:
+		if int(r.Index) < numSpecRegs {
+			c.spec[r.Index] = cycle
+		}
+	}
+}
+
+// maxAll returns the latest in-flight completion across every register.
+func (c *regClock) maxAll() int64 {
+	var t int64
+	for _, x := range c.v {
+		if x > t {
+			t = x
+		}
+	}
+	for _, x := range c.s {
+		if x > t {
+			t = x
+		}
+	}
+	for _, x := range c.spec {
+		if x > t {
+			t = x
+		}
+	}
+	return t
 }
 
 // poison fills the register state with a recognizable garbage pattern.
@@ -229,7 +314,7 @@ func (w *Warp) enterHook(instrs []isa.Instruction) {
 func (w *Warp) regReadyAt(regs []isa.Reg) int64 {
 	var t int64
 	for _, r := range regs {
-		if rt, ok := w.regReady[r]; ok && rt > t {
+		if rt := w.regReady.get(r); rt > t {
 			t = rt
 		}
 	}
@@ -237,7 +322,7 @@ func (w *Warp) regReadyAt(regs []isa.Reg) int64 {
 }
 
 func (w *Warp) setRegReady(r isa.Reg, cycle int64) {
-	w.regReady[r] = cycle
+	w.regReady.set(r, cycle)
 }
 
 // activeLanes returns the number of set bits in EXEC.

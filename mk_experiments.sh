@@ -15,8 +15,9 @@ completion and verified bit-exact against the CPU golden reference).
 **Reading guide.** Absolute microseconds depend on one calibration knob —
 the context-switch-path bandwidth, chosen so BASELINE full-SM switches
 land in Table I's 75-330 µs band. Normalized comparisons are
-measurements. The paper's claims live in the *shape*: who wins, by
-roughly what factor, and where the trade-offs sit.
+measurements; MEAN columns are geometric means of the per-kernel ratios
+(arithmetic only if a ratio is zero). The paper's claims live in the
+*shape*: who wins, by roughly what factor, and where the trade-offs sit.
 
 ## Shape checklist (paper claim → measured here)
 
@@ -24,14 +25,14 @@ roughly what factor, and where the trade-offs sit.
 |---|---|---|
 | Traditional switching costs ~75-330 µs per SM (Table I) | 70-200 µs; KM/MM/MV (13 KB/warp) most expensive, VA (3 KB) cheapest, same band and similar rank | holds |
 | Resume is shorter than preemption (latency hiding) | resume ≈ 0.75x of preempt across Table I | holds |
-| LIVE removes dead registers: 37.8% context reduction | 65.6% | direction holds, larger (note 1) |
-| CTXBack cuts context 61.0%, within 1.09x of the CKPT minimum | 83.3% cut, 1.00x of the minimum | holds, stronger (note 1) |
-| CTXBack ≈ CS-Defer on context size (61.0% vs 62.1%) | 83.3% vs 82.2% | holds |
-| CTXBack preemption time -63.1%; CS-Defer latency +34.8% over CTXBack | -79.6%; CS-Defer +1.1% mean, up to +10% on the unrolled BLAS-style kernels (DC, MV, KM) | holds / direction holds, weaker (note 2) |
-| CS-Defer resumes faster than CTXBack (no re-execution) | 0.211x vs 0.217x | holds |
-| CKPT: near-zero preemption latency | 0.004x BASELINE | holds |
-| CKPT: worst resume of the context-reducing techniques (3.18x BASELINE) | worst of the reduced-context techniques (0.285x vs CTXBack's 0.217x), but below BASELINE | direction holds, magnitude differs (note 3) |
-| Runtime overhead: CKPT ~130%, CTXBack 0.41% (OSRB only) | CKPT 10.7% mean (up to 43% on HS), CTXBack 0.6% — an 18x gap | direction holds, magnitudes smaller (note 3) |
+| LIVE removes dead registers: 37.8% context reduction | 69.4% | direction holds, larger (note 1) |
+| CTXBack cuts context 61.0%, within 1.09x of the CKPT minimum | 87.2% cut, 0.99x of the minimum | holds, stronger (note 1) |
+| CTXBack ≈ CS-Defer on context size (61.0% vs 62.1%) | 87.2% vs 86.2% | holds |
+| CTXBack preemption time -63.1%; CS-Defer latency +34.8% over CTXBack | -84.0%; CS-Defer +4.5% geomean, up to +22% on the unrolled BLAS-style kernels (DC, MV, KM) | holds / direction holds, weaker (note 2) |
+| CS-Defer resumes faster than CTXBack (no re-execution) | 0.163x vs 0.182x | holds |
+| CKPT: near-zero preemption latency | 0.002x BASELINE | holds |
+| CKPT: worst resume of the context-reducing techniques (3.18x BASELINE) | worst of the reduced-context techniques (0.281x vs CTXBack's 0.182x), but below BASELINE | direction holds, magnitude differs (note 3) |
+| Runtime overhead: CKPT ~130%, CTXBack 0.41% (OSRB only) | CKPT 5.2% geomean (up to 43% on HS), CTXBack 0.6% — a 9x gap | direction holds, magnitudes smaller (note 3) |
 | CTXBack+CS-Defer best or tied on every axis | tied-or-best on context, preemption and resume | holds |
 | Routine sharing keeps transfer cost negligible (§IV-A) | e.g. KM: 445 instructions share 3 unique preemption routines (1.9 KB transferred vs 428 KB unshared) | holds (`cmd/ctxback -kernel KM`) |
 
@@ -72,17 +73,17 @@ one table — measured on one representative run:
 
 ```
 technique              LS wait us    LS total us      resume us batch slowdown
-BASELINE                   116.22         117.38          86.55         42.31%
-LIVE                        63.44          64.57          47.24         19.23%
-CKPT                         0.01           1.15          20.17          4.69%
-CS-Defer                     7.07           8.21           4.13          2.08%
-CTXBack                      5.48           6.64           5.48          2.37%
-CTXBack+CS-Defer             5.48           6.64           5.48          2.37%
+BASELINE                   116.22         117.83          86.55         42.40%
+LIVE                        63.44          65.05          47.24         22.97%
+CKPT                         0.01           1.15          20.75          4.80%
+CS-Defer                     7.13           8.65           4.13          2.28%
+CTXBack                      5.48           7.08           6.02          2.58%
+CTXBack+CS-Defer             5.48           7.08           6.02          2.58%
 ```
 
 The latency-sensitive job waits 116 µs behind a traditional context
 switch and 5.5 µs behind CTXBack; CKPT's wait is lower still but it pays
-3.7x CTXBack's resume and carries the standing checkpoint overhead.
+3.4x CTXBack's resume and carries the standing checkpoint overhead.
 
 ## Switch-path contention
 
@@ -103,12 +104,18 @@ preempted SMs     fastest SM us    slowest SM us
 ## Reproducing
 
 ```sh
-go run ./cmd/benchtab -all -samples 3     # everything above (minutes)
+go run ./cmd/benchtab -all -samples 3     # everything above (~2 min serial)
+go run ./cmd/benchtab -all -procs 8       # same numbers from 8 workers
 go run ./cmd/benchtab -quick -all         # fast smoke version
 go run ./cmd/benchtab -qos KM             # waiting-time tail distribution
 go run ./cmd/benchtab -contention KM      # multi-SM switch serialization
 go test -bench=. -benchmem                # the same experiments as benchmarks
 ```
+
+Episodes are distributed over a worker pool (`-procs`, default
+`GOMAXPROCS`); the fold back into tables is order-fixed, so every
+`-procs` value — including the serial `-procs 1` path — prints
+byte-identical numbers (`internal/harness.TestParallelDeterminism`).
 
 Every number above comes from runs whose final device memory was compared
 word-for-word against an uninterrupted golden execution; a technique that
