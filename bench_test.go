@@ -144,7 +144,7 @@ func BenchmarkSimulator(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		d := sim.MustNewDevice(sim.TestConfig())
+		d := mustDevice(sim.TestConfig())
 		if _, err := wl.Launch(d); err != nil {
 			b.Fatal(err)
 		}
@@ -176,7 +176,7 @@ func BenchmarkPreemptEpisode(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				d := sim.MustNewDevice(sim.TestConfig())
+				d := mustDevice(sim.TestConfig())
 				d.AttachRuntime(tech)
 				if _, err := wl.Launch(d); err != nil {
 					b.Fatal(err)

@@ -6,11 +6,13 @@
 //
 //	benchtab [-quick] [-samples N] [-procs N] [-table1] [-fig7] [-fig8]
 //	         [-fig9] [-fig10] [-ablation] [-summary] [-all]
+//	benchtab -chaos [-faults RATE] [-fault-seed N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"ctxback/internal/harness"
@@ -29,10 +31,25 @@ func main() {
 		summary    = flag.Bool("summary", false, "headline numbers (implies figs 7-10)")
 		qos        = flag.String("qos", "", "waiting-time distribution for one benchmark (e.g. -qos KM)")
 		contention = flag.String("contention", "", "BASELINE switch time vs busy SMs for one benchmark (e.g. -contention KM)")
-		all        = flag.Bool("all", false, "everything")
+		all        = flag.Bool("all", false, "everything (fault-free evaluation; chaos stays opt-in)")
 		procs      = flag.Int("procs", 0, "episode workers: 0 = GOMAXPROCS, 1 = serial (identical numbers either way)")
+		chaos      = flag.Bool("chaos", false, "fault-injection robustness sweep across kernels x techniques")
+		faultRate  = flag.Float64("faults", 0, "chaos fault rate in [0,1] (0 = sweep the default rates)")
+		faultSeed  = flag.Uint64("fault-seed", 0, "chaos fault seed (0 = default)")
 	)
 	flag.Parse()
+
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchtab: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *procs < 0 {
+		usageErr("-procs must be >= 0, got %d", *procs)
+	}
+	if math.IsNaN(*faultRate) || *faultRate < 0 || *faultRate > 1 {
+		usageErr("-faults must be a rate in [0,1], got %v", *faultRate)
+	}
 
 	opts := harness.DefaultOptions()
 	if *quick {
@@ -42,7 +59,7 @@ func main() {
 		opts.Samples = *samples
 	}
 	opts.Parallelism = *procs
-	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *ablation || *summary || *qos != "" || *contention != "") {
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *ablation || *summary || *qos != "" || *contention != "" || *chaos) {
 		*all = true
 	}
 	if *all {
@@ -118,5 +135,23 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(harness.RenderContention(*contention, rows))
+	}
+	if *chaos {
+		co := harness.DefaultChaosOptions()
+		if *faultRate > 0 {
+			co.Rates = []float64{*faultRate}
+		}
+		if *faultSeed != 0 {
+			co.Seed = *faultSeed
+		}
+		rep, err := r.Chaos(co)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.RenderChaos(rep))
+		if rep.SilentWrong() > 0 || rep.Unrecoverable() > 0 {
+			fail(fmt.Errorf("chaos: %d silent-wrong, %d unrecoverable episodes",
+				rep.SilentWrong(), rep.Unrecoverable()))
+		}
 	}
 }

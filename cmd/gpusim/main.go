@@ -6,15 +6,19 @@
 //
 //	gpusim -kernel KM                         # plain run
 //	gpusim -kernel KM -technique CTXBack -at 0.5
+//	gpusim -kernel KM -technique CTXBack -faults 0.05 -fault-seed 1
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"strings"
 
+	"ctxback/internal/faults"
 	"ctxback/internal/kernels"
 	"ctxback/internal/preempt"
 	"ctxback/internal/sim"
@@ -22,16 +26,30 @@ import (
 
 func main() {
 	var (
-		kernel  = flag.String("kernel", "VA", "benchmark abbreviation")
-		techStr = flag.String("technique", "", "preemption technique (BASELINE, LIVE, CKPT, CS-Defer, CTXBack, CTXBack+CS-Defer)")
-		at      = flag.Float64("at", 0.5, "preemption point as a fraction of the uninterrupted runtime")
-		blocks  = flag.Int("blocks", 8, "thread blocks")
-		warps   = flag.Int("warps", 2, "warps per block")
-		iters   = flag.Int("iters", 16, "main-loop iterations per warp")
-		trace   = flag.Int("trace", 0, "print the last N executed instructions of the preempted run")
-		procs   = flag.Int("procs", 0, "cap GOMAXPROCS (0 = leave at the runtime default)")
+		kernel    = flag.String("kernel", "VA", "benchmark abbreviation")
+		techStr   = flag.String("technique", "", "preemption technique (BASELINE, LIVE, CKPT, CS-Defer, CTXBack, CTXBack+CS-Defer)")
+		at        = flag.Float64("at", 0.5, "preemption point as a fraction of the uninterrupted runtime")
+		blocks    = flag.Int("blocks", 8, "thread blocks")
+		warps     = flag.Int("warps", 2, "warps per block")
+		iters     = flag.Int("iters", 16, "main-loop iterations per warp")
+		trace     = flag.Int("trace", 0, "print the last N executed instructions of the preempted run")
+		procs     = flag.Int("procs", 0, "cap GOMAXPROCS (0 = leave at the runtime default)")
+		faultRate = flag.Float64("faults", 0, "fault-injection rate in [0,1] for the preempted run (0 = off)")
+		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection seed")
 	)
 	flag.Parse()
+
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gpusim: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *procs < 0 {
+		usageErr("-procs must be >= 0, got %d", *procs)
+	}
+	if math.IsNaN(*faultRate) || *faultRate < 0 || *faultRate > 1 {
+		usageErr("-faults must be a rate in [0,1], got %v", *faultRate)
+	}
 	if *procs > 0 {
 		runtime.GOMAXPROCS(*procs)
 	}
@@ -53,7 +71,10 @@ func main() {
 
 	// Golden run.
 	wl := factory()
-	golden := sim.MustNewDevice(cfg)
+	golden, err := sim.NewDevice(cfg)
+	if err != nil {
+		fail(err)
+	}
 	if _, err := wl.Launch(golden); err != nil {
 		fail(err)
 	}
@@ -79,51 +100,100 @@ func main() {
 	if !found {
 		fail(fmt.Errorf("unknown technique %q", *techStr))
 	}
+
+	signal := int64(*at * float64(golden.Now()))
+	faultCfg := faults.Preset(*faultSeed, *faultRate)
+
+	// Preempted run, possibly under fault injection. A detected fault
+	// (transfer escalation or integrity violation) degrades gracefully:
+	// the episode re-runs fault-free through the BASELINE technique.
+	runErr := runPreempted(cfg, factory, kind, signal, *faultRate, faultCfg, *trace)
+	if runErr == nil {
+		return
+	}
+	var xfer *sim.TransferFaultError
+	var integ *sim.IntegrityError
+	if !errors.As(runErr, &xfer) && !errors.As(runErr, &integ) {
+		fail(runErr)
+	}
+	fmt.Printf("fault detected in-band: %v\n", runErr)
+	fmt.Println("degrading: re-running the episode fault-free through BASELINE")
+	if err := runPreempted(cfg, factory, preempt.Baseline, signal, 0, faults.Config{}, 0); err != nil {
+		fail(fmt.Errorf("BASELINE fallback failed: %w", err))
+	}
+}
+
+// runPreempted runs one preemption episode end to end and verifies the
+// final output against the CPU reference. Lost preemption signals are
+// re-raised (bounded); detected faults surface as the returned error.
+func runPreempted(cfg sim.Config, factory func() *kernels.Workload, kind preempt.Kind,
+	signal int64, faultRate float64, faultCfg faults.Config, trace int) error {
+	wl := factory()
 	tech, err := preempt.New(kind, wl.Prog)
 	if err != nil {
-		fail(err)
+		return err
 	}
-
-	wl2 := factory()
-	d := sim.MustNewDevice(cfg)
+	d, err := sim.NewDevice(cfg)
+	if err != nil {
+		return err
+	}
+	if faultRate > 0 {
+		if err := d.InjectFaults(faultCfg); err != nil {
+			return err
+		}
+	}
 	var tr *sim.Tracer
-	if *trace > 0 {
-		tr = d.EnableTrace(*trace)
+	if trace > 0 {
+		tr = d.EnableTrace(trace)
 	}
 	d.AttachRuntime(tech)
-	if _, err := wl2.Launch(d); err != nil {
-		fail(err)
+	if _, err := wl.Launch(d); err != nil {
+		return err
 	}
-	signal := int64(*at * float64(golden.Now()))
 	if err := d.RunUntil(func() bool { return d.Now() >= signal }, 1<<40); err != nil {
-		fail(err)
+		return err
 	}
-	ep, err := d.Preempt(0, tech)
-	if err != nil {
-		fail(err)
+	var ep *sim.Episode
+	for attempt := 0; ; attempt++ {
+		ep, err = d.Preempt(0, tech)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, sim.ErrSignalLost) && attempt < 8 {
+			fmt.Printf("preemption signal lost (attempt %d), re-raising\n", attempt+1)
+			continue
+		}
+		return err
 	}
 	if err := d.RunUntil(ep.Saved, 1<<40); err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Printf("preempted SM 0 at cycle %d with %v: %d warps, latency %d cycles (%.2f us), %d context bytes\n",
 		signal, kind, len(ep.Victims), ep.PreemptLatencyCycles(),
 		cfg.CyclesToMicros(ep.PreemptLatencyCycles()), ep.SavedBytes())
 	if err := d.Resume(ep); err != nil {
-		fail(err)
+		return err
 	}
 	if err := d.RunUntil(ep.Finished, 1<<40); err != nil {
-		fail(err)
+		return err
 	}
 	fmt.Printf("resumed: %d cycles (%.2f us) until all warps regained progress\n",
 		ep.ResumeCycles(), cfg.CyclesToMicros(ep.ResumeCycles()))
 	if err := d.Run(1 << 40); err != nil {
-		fail(err)
+		return err
 	}
-	if err := wl2.Verify(d); err != nil {
-		fail(fmt.Errorf("preempted run failed verification: %w", err))
+	if err := wl.Verify(d); err != nil {
+		return fmt.Errorf("preempted run failed verification: %w", err)
 	}
 	fmt.Println("preempted run completed — output verified identical to golden reference")
-	if tr != nil {
-		fmt.Printf("\nlast %d executed instructions:\n%s", *trace, tr.Render())
+	if faultRate > 0 {
+		fs := d.FaultStats()
+		fmt.Printf("faults injected: %d total (%d transient save, %d transient restore, %d stalls); episode absorbed %d retries\n",
+			fs.Total(), fs.TransientSaveFaults, fs.TransientRestoreFaults, fs.Stalls,
+			ep.Faults.TransientRetries)
 	}
+	if tr != nil {
+		fmt.Printf("\nlast %d executed instructions:\n%s", trace, tr.Render())
+	}
+	return nil
 }

@@ -56,7 +56,10 @@ func cleanRun() (cleanCycles, signal int64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	d := sim.MustNewDevice(cfg)
+	d, err := sim.NewDevice(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
 	if _, err := wl.Launch(d); err != nil {
 		return 0, 0, err
 	}
@@ -81,7 +84,10 @@ func measure(signal, clean int64, mk func(*isa.Program) (preempt.Technique, erro
 	if err != nil {
 		return 0, 0, err
 	}
-	d := sim.MustNewDevice(cfg)
+	d, err := sim.NewDevice(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
 	d.AttachRuntime(tech)
 	if _, err := wl.Launch(d); err != nil {
 		return 0, 0, err
@@ -103,7 +109,10 @@ func measure(signal, clean int64, mk func(*isa.Program) (preempt.Technique, erro
 	if err != nil {
 		return 0, 0, err
 	}
-	d2 := sim.MustNewDevice(cfg)
+	d2, err := sim.NewDevice(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
 	d2.AttachRuntime(tech2)
 	if _, err := wl2.Launch(d2); err != nil {
 		return 0, 0, err

@@ -57,7 +57,10 @@ func runScenario(cfg sim.Config, batchParams, lsParams kernels.Params, kind pree
 	if err != nil {
 		return result{}, err
 	}
-	d := sim.MustNewDevice(cfg)
+	d, err := sim.NewDevice(cfg)
+	if err != nil {
+		return result{}, err
+	}
 
 	var tech preempt.Technique
 	if kind >= 0 {
@@ -81,7 +84,10 @@ func runScenario(cfg sim.Config, batchParams, lsParams kernels.Params, kind pree
 	}
 
 	// Estimate a mid-run arrival point from a dry run.
-	dry := sim.MustNewDevice(cfg)
+	dry, err := sim.NewDevice(cfg)
+	if err != nil {
+		return result{}, err
+	}
 	batchDry, _ := kernels.ByAbbrev("KM", batchParams)
 	if _, err := batchDry.Launch(dry); err != nil {
 		return result{}, err

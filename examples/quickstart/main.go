@@ -69,7 +69,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	d := sim.MustNewDevice(sim.DefaultConfig())
+	d, err := sim.NewDevice(sim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	d.AttachRuntime(tech)
 
 	x := make([]uint32, n)

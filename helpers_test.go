@@ -1,0 +1,13 @@
+package ctxback
+
+import "ctxback/internal/sim"
+
+// mustDevice builds a device from a test-verified static config;
+// construction failure is a test bug, so it panics.
+func mustDevice(cfg sim.Config) *sim.Device {
+	d, err := sim.NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

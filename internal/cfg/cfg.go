@@ -49,16 +49,6 @@ func Build(p *isa.Program) (*Graph, error) {
 	return g, nil
 }
 
-// MustBuild is Build that panics on error (for static, test-verified
-// kernels).
-func MustBuild(p *isa.Program) *Graph {
-	g, err := Build(p)
-	if err != nil {
-		panic(err)
-	}
-	return g
-}
-
 func (g *Graph) splitBlocks() {
 	p := g.Prog
 	n := p.Len()

@@ -24,7 +24,7 @@ func TestSingleBlock(t *testing.T) {
   v_add v1, v0, 2
   s_endpgm
 `)
-	g := MustBuild(p)
+	g := mustGraph(p)
 	if len(g.Blocks) != 1 {
 		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
 	}
@@ -47,7 +47,7 @@ loop:
   s_cbranch_scc1 loop
   s_endpgm
 `)
-	g := MustBuild(p)
+	g := mustGraph(p)
 	// Blocks: [0,1) preheader, [1,5) loop body, [5,6) exit.
 	if len(g.Blocks) != 3 {
 		t.Fatalf("blocks = %d, want 3\n%s", len(g.Blocks), g.String())
@@ -84,7 +84,7 @@ join:
   v_add v1, v0, 1
   s_endpgm
 `)
-	g := MustBuild(p)
+	g := mustGraph(p)
 	if len(g.Blocks) != 4 {
 		t.Fatalf("blocks = %d, want 4\n%s", len(g.Blocks), g.String())
 	}
@@ -112,7 +112,7 @@ target:
   v_add v1, v0, 2
   s_branch target
 `)
-	g := MustBuild(p)
+	g := mustGraph(p)
 	// pc 2 is in the block starting at `target` (pc 1): window cannot
 	// cross the block boundary backwards.
 	if h := g.FlashbackHead(2); h != 1 {
@@ -134,7 +134,7 @@ func TestRegionBrokenByAtomic(t *testing.T) {
   v_add v3, v2, 1
   s_endpgm
 `)
-	g := MustBuild(p)
+	g := mustGraph(p)
 	// PCs after the atomic (pc 1) may not flash back across it.
 	if h := g.FlashbackHead(3); h != 2 {
 		t.Errorf("FlashbackHead(3) = %d, want 2 (atomic at 1)", h)
@@ -156,7 +156,7 @@ func TestRegionBrokenByBarrier(t *testing.T) {
   v_add v3, v2, 1
   s_endpgm
 `)
-	g := MustBuild(p)
+	g := mustGraph(p)
 	if h := g.FlashbackHead(3); h != 2 {
 		t.Errorf("FlashbackHead(3) = %d, want 2 (barrier at 1)", h)
 	}
@@ -176,7 +176,7 @@ func TestRegionLoadThenAliasingStore(t *testing.T) {
   v_add v2, v1, 1
   s_endpgm
 `)
-	g := MustBuild(p)
+	g := mustGraph(p)
 	if h := g.FlashbackHead(3); h != 1 {
 		t.Errorf("FlashbackHead(3) = %d, want 1 (load at 0 then aliasing store at 2)", h)
 	}
@@ -195,7 +195,7 @@ func TestRegionDisjointSpacesDoNotAlias(t *testing.T) {
 	b.I(isa.VGStore, isa.R(isa.V(0)), isa.R(isa.V(1)), isa.Imm(0)).Space(2)
 	b.I(isa.VAdd, isa.R(isa.V(2)), isa.R(isa.V(1)), isa.Imm(1))
 	b.I(isa.SEndpgm)
-	g := MustBuild(b.MustBuild())
+	g := mustGraph(mustProg(b))
 	if h := g.FlashbackHead(3); h != 0 {
 		t.Errorf("FlashbackHead(3) = %d, want 0 (disjoint spaces)", h)
 	}
@@ -212,7 +212,7 @@ func TestRegionLDSAndGlobalNeverAlias(t *testing.T) {
   v_add v2, v1, 1
   s_endpgm
 `)
-	g := MustBuild(p)
+	g := mustGraph(p)
 	if h := g.FlashbackHead(2); h != 0 {
 		t.Errorf("FlashbackHead(2) = %d, want 0 (LDS store vs global load)", h)
 	}

@@ -1,0 +1,22 @@
+package cfg
+
+import "ctxback/internal/isa"
+
+// mustGraph builds the CFG of a test-verified static program;
+// construction failure is a test bug, so it panics.
+func mustGraph(p *isa.Program) *Graph {
+	g, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// mustProg finalizes a statically constructed test program.
+func mustProg(b *isa.Builder) *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -4,7 +4,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"ctxback/internal/cfg"
 	"ctxback/internal/isa"
 	"ctxback/internal/liveness"
 )
@@ -66,7 +65,7 @@ func genProgram(rng *rand.Rand, nInstr int) *isa.Program {
 	b.I(isa.VGStore, isa.R(isa.V(0)), isa.R(isa.V(1)), isa.Imm(2048)).Space(3)
 	b.I(isa.VGStore, isa.R(isa.V(2)), isa.R(isa.V(3)), isa.Imm(2052)).Space(3)
 	b.I(isa.SEndpgm)
-	return b.MustBuild()
+	return mustProg(b)
 }
 
 // TestFuzzPlannerSoundAndBounded compiles hundreds of random programs and
@@ -86,7 +85,10 @@ func TestFuzzPlannerSoundAndBounded(t *testing.T) {
 			if err != nil {
 				t.Fatalf("iter %d feats %v: %v\n%s", it, feats, err, prog.Disassemble())
 			}
-			g := cfg.MustBuild(prog)
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatalf("iter %d feats %v: %v\n%s", it, feats, err, prog.Disassemble())
+			}
+			g := mustGraph(prog)
 			live := liveness.Analyze(g)
 			for pc, plan := range c.Plans {
 				if err := ValidatePlan(prog, live, plan); err != nil {

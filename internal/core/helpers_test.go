@@ -1,0 +1,25 @@
+package core
+
+import (
+	"ctxback/internal/cfg"
+	"ctxback/internal/isa"
+)
+
+// mustProg finalizes a statically constructed test program;
+// construction failure is a test bug, so it panics.
+func mustProg(b *isa.Builder) *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// mustGraph builds the CFG of a test-verified static program.
+func mustGraph(p *isa.Program) *cfg.Graph {
+	g, err := cfg.Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,325 @@
+// Package faults is a deterministic, seed-driven fault-injection engine
+// for the simulator. It decides — reproducibly, from a single seed —
+// whether a given fault site fires on a given occurrence: context
+// save/restore stores fail transiently or permanently, saved context
+// buffers take bit flips while swapped out, preemption signals are
+// dropped or duplicated, and memory transactions stall.
+//
+// The package is a pure decision engine: it knows nothing about the
+// simulator (internal/sim imports it, not the other way around). Every
+// decision is keyed by (seed, site, entity id, per-entity occurrence
+// counter), so the same seed yields the same fault schedule regardless
+// of how episodes are interleaved across devices.
+package faults
+
+import (
+	"fmt"
+	"math"
+)
+
+// Class classifies a save/restore transfer fault.
+type Class uint8
+
+const (
+	// None: the transfer succeeded.
+	None Class = iota
+	// Transient: the transfer failed but a retry may succeed.
+	Transient
+	// Permanent: the transfer fails on every retry (hard fault).
+	Permanent
+)
+
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case Permanent:
+		return "permanent"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Site identifies an injection point. Decision streams are independent
+// per site, so enabling one fault class never perturbs another's
+// schedule.
+type Site uint8
+
+const (
+	SiteCtxSave Site = iota
+	SiteCtxRestore
+	SiteCorrupt
+	SiteSignalDrop
+	SiteSignalDup
+	SiteStall
+	numSites
+)
+
+// Config selects fault rates and the recovery policy bounds. All rates
+// are probabilities in [0, 1]; the zero value injects nothing.
+type Config struct {
+	// Seed drives every decision stream. Two runs with equal Config see
+	// the identical fault schedule.
+	Seed uint64
+
+	// CtxSaveFailRate / CtxRestoreFailRate are the per-transfer failure
+	// probabilities of context save stores and restore loads.
+	CtxSaveFailRate    float64
+	CtxRestoreFailRate float64
+	// PermanentFrac is the fraction of transfer failures that are
+	// permanent (retry cannot succeed); the rest are transient.
+	PermanentFrac float64
+
+	// CorruptRate is the per-warp probability that the saved context
+	// buffer takes a bit flip while the warp is swapped out. Corruption
+	// targets register and LDS slots (the data a checksum protects),
+	// never the PC/progress words.
+	CorruptRate float64
+
+	// SignalDropRate is the probability a preemption signal is lost in
+	// delivery; SignalDupRate the probability it is delivered twice.
+	SignalDropRate float64
+	SignalDupRate  float64
+
+	// StallRate stalls a device-memory transaction for StallCycles extra
+	// cycles before it starts.
+	StallRate   float64
+	StallCycles int
+
+	// MaxRetries bounds the retry-with-backoff recovery of transient
+	// transfer faults; after MaxRetries failed retries the fault
+	// escalates to a structured error. BackoffCycles is the per-attempt
+	// backoff added to the warp's ready time (linear backoff).
+	MaxRetries    int
+	BackoffCycles int
+
+	// DisableChecksum turns off save-time context checksums (normally on
+	// whenever faults are enabled), exposing buffer corruption to the
+	// downstream resume-integrity oracle instead. Used by detection
+	// ablations.
+	DisableChecksum bool
+}
+
+// Validate rejects rates outside [0, 1], NaNs, and negative bounds.
+func (c *Config) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{
+		{"CtxSaveFailRate", c.CtxSaveFailRate},
+		{"CtxRestoreFailRate", c.CtxRestoreFailRate},
+		{"PermanentFrac", c.PermanentFrac},
+		{"CorruptRate", c.CorruptRate},
+		{"SignalDropRate", c.SignalDropRate},
+		{"SignalDupRate", c.SignalDupRate},
+		{"StallRate", c.StallRate},
+	}
+	for _, r := range rates {
+		if math.IsNaN(r.v) || r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s = %v, want a probability in [0, 1]", r.name, r.v)
+		}
+	}
+	if c.StallCycles < 0 {
+		return fmt.Errorf("faults: StallCycles = %d, want >= 0", c.StallCycles)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("faults: MaxRetries = %d, want >= 0", c.MaxRetries)
+	}
+	if c.BackoffCycles < 0 {
+		return fmt.Errorf("faults: BackoffCycles = %d, want >= 0", c.BackoffCycles)
+	}
+	return nil
+}
+
+// Enabled reports whether any fault site can fire.
+func (c Config) Enabled() bool {
+	return c.CtxSaveFailRate > 0 || c.CtxRestoreFailRate > 0 || c.CorruptRate > 0 ||
+		c.SignalDropRate > 0 || c.SignalDupRate > 0 || c.StallRate > 0
+}
+
+// Preset returns a Config exercising every fault site at rate, with the
+// default recovery policy (3 retries, linear 8-cycle backoff, a quarter
+// of transfer faults permanent).
+func Preset(seed uint64, rate float64) Config {
+	return Config{
+		Seed:               seed,
+		CtxSaveFailRate:    rate,
+		CtxRestoreFailRate: rate,
+		PermanentFrac:      0.25,
+		CorruptRate:        rate,
+		SignalDropRate:     rate,
+		SignalDupRate:      rate,
+		StallRate:          rate,
+		StallCycles:        40,
+		MaxRetries:         3,
+		BackoffCycles:      8,
+	}
+}
+
+// Stats counts every fault the injector has fired, by site and class.
+type Stats struct {
+	TransientSaveFaults    int
+	PermanentSaveFaults    int
+	TransientRestoreFaults int
+	PermanentRestoreFaults int
+	CorruptedContexts      int
+	DroppedSignals         int
+	DupSignals             int
+	Stalls                 int
+}
+
+// Total is the number of faults injected across all sites.
+func (s Stats) Total() int {
+	return s.TransientSaveFaults + s.PermanentSaveFaults +
+		s.TransientRestoreFaults + s.PermanentRestoreFaults +
+		s.CorruptedContexts + s.DroppedSignals + s.DupSignals + s.Stalls
+}
+
+// Injector draws fault decisions from per-(site, id) streams. It is not
+// safe for concurrent use: attach one injector per device (devices are
+// single-threaded; parallel episodes each own a device).
+type Injector struct {
+	cfg   Config
+	seq   map[uint64]uint64 // per-(site, id) occurrence counters
+	txSeq uint64            // device-memory transaction counter (stall site)
+	stats Stats
+}
+
+// NewInjector validates cfg and builds an injector over it.
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg, seq: make(map[uint64]uint64)}, nil
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats returns the counts of faults injected so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-distributed
+// 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed folds parts into base, producing an independent stream
+// seed. Sweeps use it to give every (kernel, technique, rate, attempt)
+// cell its own reproducible fault schedule.
+func DeriveSeed(base uint64, parts ...uint64) uint64 {
+	s := splitmix64(base)
+	for _, p := range parts {
+		s = splitmix64(s ^ splitmix64(p))
+	}
+	return s
+}
+
+// draw returns the next raw 64-bit value of the (site, id) stream.
+func (in *Injector) draw(site Site, id uint64) uint64 {
+	key := splitmix64(in.cfg.Seed ^ splitmix64(uint64(site)<<56^id))
+	n := in.seq[key]
+	in.seq[key] = n + 1
+	return splitmix64(key ^ splitmix64(n))
+}
+
+// chance converts a raw draw to a uniform [0, 1) float and compares it
+// to rate.
+func chance(raw uint64, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return float64(raw>>11)/(1<<53) < rate
+}
+
+// CtxTransferFault decides whether warp warpID's next context save
+// (save=true) or restore (save=false) transfer faults, and how.
+func (in *Injector) CtxTransferFault(warpID int, save bool) Class {
+	rate := in.cfg.CtxRestoreFailRate
+	site := SiteCtxRestore
+	if save {
+		rate, site = in.cfg.CtxSaveFailRate, SiteCtxSave
+	}
+	raw := in.draw(site, uint64(warpID))
+	if !chance(raw, rate) {
+		return None
+	}
+	// An independent bit of the same draw picks the class, so the
+	// permanent/transient split does not perturb the fire schedule.
+	cls := Transient
+	if chance(splitmix64(raw), in.cfg.PermanentFrac) {
+		cls = Permanent
+	}
+	switch {
+	case save && cls == Transient:
+		in.stats.TransientSaveFaults++
+	case save:
+		in.stats.PermanentSaveFaults++
+	case cls == Transient:
+		in.stats.TransientRestoreFaults++
+	default:
+		in.stats.PermanentRestoreFaults++
+	}
+	return cls
+}
+
+// CorruptContext decides whether warp warpID's swapped-out context is
+// corrupted, returning a non-zero XOR mask for the flipped bits.
+func (in *Injector) CorruptContext(warpID int) (mask uint32, ok bool) {
+	raw := in.draw(SiteCorrupt, uint64(warpID))
+	if !chance(raw, in.cfg.CorruptRate) {
+		return 0, false
+	}
+	in.stats.CorruptedContexts++
+	m := uint32(splitmix64(raw))
+	if m == 0 {
+		m = 1
+	}
+	return m, true
+}
+
+// DropSignal decides whether a preemption signal raised on SM smID is
+// lost in delivery.
+func (in *Injector) DropSignal(smID int) bool {
+	if chance(in.draw(SiteSignalDrop, uint64(smID)), in.cfg.SignalDropRate) {
+		in.stats.DroppedSignals++
+		return true
+	}
+	return false
+}
+
+// DupSignal decides whether a delivered preemption signal arrives a
+// second time on SM smID.
+func (in *Injector) DupSignal(smID int) bool {
+	if chance(in.draw(SiteSignalDup, uint64(smID)), in.cfg.SignalDupRate) {
+		in.stats.DupSignals++
+		return true
+	}
+	return false
+}
+
+// Stall decides whether the next device-memory transaction stalls,
+// returning the extra cycles (0: no stall).
+func (in *Injector) Stall() int64 {
+	if in.cfg.StallRate <= 0 {
+		return 0
+	}
+	// The transaction index is itself the occurrence counter, so the
+	// stall stream needs no per-key map entry.
+	tx := in.txSeq
+	in.txSeq++
+	raw := splitmix64(in.cfg.Seed ^ splitmix64(uint64(SiteStall)<<56^tx))
+	if chance(raw, in.cfg.StallRate) {
+		in.stats.Stalls++
+		return int64(in.cfg.StallCycles)
+	}
+	return 0
+}
+
+// ChecksumEnabled reports whether save-time context checksums are on.
+func (in *Injector) ChecksumEnabled() bool { return !in.cfg.DisableChecksum }

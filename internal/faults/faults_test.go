@@ -1,0 +1,159 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Preset(1, 0.1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Preset config rejected: %v", err)
+	}
+	bad := []Config{
+		{CtxSaveFailRate: -0.1},
+		{CtxRestoreFailRate: 1.5},
+		{CorruptRate: math.NaN()},
+		{SignalDropRate: math.Inf(1)},
+		{PermanentFrac: 2},
+		{StallCycles: -1},
+		{MaxRetries: -1},
+		{BackoffCycles: -3},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+		if _, err := NewInjector(c); err == nil {
+			t.Errorf("NewInjector accepted bad config %d", i)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports Enabled")
+	}
+	if !(Config{CorruptRate: 0.5}).Enabled() {
+		t.Error("corrupting config reports disabled")
+	}
+	if !Preset(1, 0.01).Enabled() {
+		t.Error("preset reports disabled")
+	}
+}
+
+// drain runs a fixed decision schedule against an injector and records
+// every outcome.
+func drain(in *Injector) []int {
+	var out []int
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 50; i++ {
+			out = append(out, int(in.CtxTransferFault(w, true)))
+			out = append(out, int(in.CtxTransferFault(w, false)))
+		}
+		if m, ok := in.CorruptContext(w); ok {
+			out = append(out, int(m))
+		}
+	}
+	for sm := 0; sm < 4; sm++ {
+		for i := 0; i < 20; i++ {
+			if in.DropSignal(sm) {
+				out = append(out, -1)
+			}
+			if in.DupSignal(sm) {
+				out = append(out, -2)
+			}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		out = append(out, int(in.Stall()))
+	}
+	return out
+}
+
+func TestDeterministicFromSeed(t *testing.T) {
+	cfg := Preset(12345, 0.1)
+	a, _ := NewInjector(cfg)
+	b, _ := NewInjector(cfg)
+	ra, rb := drain(a), drain(b)
+	if len(ra) != len(rb) {
+		t.Fatalf("schedules differ in length: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("schedules diverge at decision %d: %d vs %d", i, ra[i], rb[i])
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().Total() == 0 {
+		t.Fatal("rate 0.1 schedule injected nothing")
+	}
+
+	// A different seed must produce a different schedule.
+	other, _ := NewInjector(Preset(54321, 0.1))
+	ro := drain(other)
+	same := len(ro) == len(ra)
+	if same {
+		for i := range ra {
+			if ra[i] != ro[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical fault schedule")
+	}
+}
+
+func TestZeroRateInjectsNothing(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(in)
+	if total := in.Stats().Total(); total != 0 {
+		t.Fatalf("zero-rate injector fired %d faults", total)
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	in, _ := NewInjector(Config{Seed: 3, CorruptRate: 1})
+	for w := 0; w < 16; w++ {
+		if m, ok := in.CorruptContext(w); !ok || m == 0 {
+			t.Fatalf("warp %d: rate-1 corruption did not fire (mask %#x ok=%v)", w, m, ok)
+		}
+	}
+}
+
+func TestPermanentFracSplit(t *testing.T) {
+	in, _ := NewInjector(Config{Seed: 9, CtxSaveFailRate: 1, PermanentFrac: 0.5})
+	for w := 0; w < 64; w++ {
+		in.CtxTransferFault(w, true)
+	}
+	st := in.Stats()
+	if st.TransientSaveFaults == 0 || st.PermanentSaveFaults == 0 {
+		t.Fatalf("PermanentFrac 0.5 produced a one-sided split: %+v", st)
+	}
+	if st.TransientSaveFaults+st.PermanentSaveFaults != 64 {
+		t.Fatalf("rate-1 transfer faults missed: %+v", st)
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := map[uint64]bool{}
+	for k := uint64(0); k < 8; k++ {
+		for r := uint64(0); r < 4; r++ {
+			s := DeriveSeed(11, k, r)
+			if seen[s] {
+				t.Fatalf("DeriveSeed collision at (%d,%d)", k, r)
+			}
+			seen[s] = true
+		}
+	}
+	if DeriveSeed(11, 1, 2) != DeriveSeed(11, 1, 2) {
+		t.Fatal("DeriveSeed is not a pure function")
+	}
+}

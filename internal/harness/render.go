@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"ctxback/internal/preempt"
 )
 
 // RenderTableI formats Table I next to the paper's values.
@@ -51,6 +53,62 @@ func RenderAblation(rows []AblationRow) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-28s %14.3f %13.1f%%\n", r.Label, r.MeanRatio, (1-r.MeanRatio)*100)
 	}
+	return b.String()
+}
+
+// RenderChaos formats the fault-injection sweep: one block per
+// (detection mode, fault rate), techniques as rows and kernels as
+// columns, each cell a one-letter outcome code.
+func RenderChaos(rep *ChaosReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos: fault-injection sweep (seed %d)\n", rep.Opts.Seed)
+	fmt.Fprintf(&b, "cells: C clean, R recovered in-episode, F detected -> BASELINE fallback,\n")
+	fmt.Fprintf(&b, "       U unrecoverable, S! silent wrong output, - SM drained (skipped)\n")
+	type block struct {
+		mode string
+		rate float64
+	}
+	var order []block
+	cells := map[block]map[preempt.Kind]map[string]string{}
+	kinds := map[block][]preempt.Kind{}
+	for _, c := range rep.Cells {
+		k := block{c.Mode, c.Rate}
+		if cells[k] == nil {
+			order = append(order, k)
+			cells[k] = map[preempt.Kind]map[string]string{}
+		}
+		if cells[k][c.Kind] == nil {
+			kinds[k] = append(kinds[k], c.Kind)
+			cells[k][c.Kind] = map[string]string{}
+		}
+		code := c.Outcome.code()
+		if c.Skipped && c.Outcome != ChaosSilentWrong {
+			code = "-"
+		}
+		cells[k][c.Kind][c.Kernel] = code
+	}
+	for _, blk := range order {
+		fmt.Fprintf(&b, "\nmode=%s rate=%.2f\n", blk.mode, blk.rate)
+		fmt.Fprintf(&b, "%-18s", "")
+		for _, ab := range rep.Kernels {
+			fmt.Fprintf(&b, "%5s", ab)
+		}
+		fmt.Fprintf(&b, "\n%s\n", strings.Repeat("-", 18+5*len(rep.Kernels)))
+		for _, kind := range kinds[blk] {
+			fmt.Fprintf(&b, "%-18s", kind.String())
+			for _, ab := range rep.Kernels {
+				fmt.Fprintf(&b, "%5s", cells[blk][kind][ab])
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	total := 0
+	for _, n := range rep.Counts {
+		total += n
+	}
+	fmt.Fprintf(&b, "\n%d episodes (+%d skipped): %d clean, %d recovered, %d fallback, %d unrecoverable, %d silent-wrong\n",
+		total, rep.Skipped, rep.Counts[ChaosClean], rep.Counts[ChaosRecovered],
+		rep.Counts[ChaosFallback], rep.Counts[ChaosUnrecoverable], rep.Counts[ChaosSilentWrong])
 	return b.String()
 }
 

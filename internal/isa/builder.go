@@ -131,13 +131,3 @@ func (b *Builder) Build() (*Program, error) {
 	}
 	return &b.prog, nil
 }
-
-// MustBuild is Build that panics on error; kernels in internal/kernels
-// are static and verified by tests, so construction failure is a bug.
-func (b *Builder) MustBuild() *Program {
-	p, err := b.Build()
-	if err != nil {
-		panic(err)
-	}
-	return p
-}

@@ -48,7 +48,7 @@ func TestEncodeDecodeRandomPrograms(t *testing.T) {
 			}
 		}
 		b.I(SEndpgm)
-		p := b.MustBuild()
+		p := mustProg(b)
 		q, err := DecodeProgram(EncodeProgram(p))
 		if err != nil {
 			t.Fatalf("iter %d: %v", it, err)

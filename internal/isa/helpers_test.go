@@ -1,0 +1,11 @@
+package isa
+
+// mustProg finalizes a statically constructed test program;
+// construction failure is a test bug, so it panics.
+func mustProg(b *Builder) *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,26 @@
+package kernels
+
+import (
+	"ctxback/internal/cfg"
+	"ctxback/internal/isa"
+	"ctxback/internal/sim"
+)
+
+// mustDevice builds a device from a test-verified static config;
+// construction failure is a test bug, so it panics.
+func mustDevice(c sim.Config) *sim.Device {
+	d, err := sim.NewDevice(c)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// mustGraph builds the CFG of a registry kernel program.
+func mustGraph(p *isa.Program) *cfg.Graph {
+	g, err := cfg.Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

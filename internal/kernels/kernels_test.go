@@ -11,7 +11,7 @@ import (
 
 func runWorkload(t *testing.T, wl *Workload) *sim.Device {
 	t.Helper()
-	d := sim.MustNewDevice(sim.TestConfig())
+	d := mustDevice(sim.TestConfig())
 	if _, err := wl.Launch(d); err != nil {
 		t.Fatalf("%s: launch: %v", wl.Abbrev, err)
 	}
@@ -102,7 +102,7 @@ func TestWorkloadsHaveLoops(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, wl := range all {
-		g := cfg.MustBuild(wl.Prog)
+		g := mustGraph(wl.Prog)
 		if len(g.LoopHeaders()) == 0 {
 			t.Errorf("%s has no loops", wl.Abbrev)
 		}
@@ -127,7 +127,7 @@ func TestHSRegionsBrokenByAtomics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := cfg.MustBuild(wl.Prog)
+	g := mustGraph(wl.Prog)
 	// Find the atomic and confirm PCs after it in the same block cannot
 	// flash back across it.
 	atomicPC := -1

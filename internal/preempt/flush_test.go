@@ -73,7 +73,7 @@ func TestSMFlushNearZeroLatency(t *testing.T) {
 		t.Fatal(err)
 	}
 	measure := func(tech Technique) int64 {
-		d := sim.MustNewDevice(sim.TestConfig())
+		d := mustDevice(sim.TestConfig())
 		d.AttachRuntime(tech)
 		wl2, _ := kernels.ByAbbrev("VA", kernels.TestParams())
 		if _, err := wl2.Launch(d); err != nil {

@@ -1,9 +1,12 @@
 package preempt
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 
+	"ctxback/internal/faults"
 	"ctxback/internal/isa"
 	"ctxback/internal/sim"
 )
@@ -51,7 +54,7 @@ func genLoopProgram(rng *rand.Rand, bodyLen int) *isa.Program {
 	b.I(isa.SCmpGt, isa.R(isa.S(4)), isa.Imm(0))
 	b.Branch(isa.SCBranchSCC1, "loop")
 	b.I(isa.SEndpgm)
-	return b.MustBuild()
+	return mustProg(b)
 }
 
 // TestFuzzDynamicGoldenEquivalence preempts random loop kernels at random
@@ -68,7 +71,7 @@ func TestFuzzDynamicGoldenEquivalence(t *testing.T) {
 		prog := genLoopProgram(rng, 8+rng.Intn(20))
 		setup := func(w *sim.Warp) { w.SRegs[4] = 12 }
 
-		golden := sim.MustNewDevice(sim.TestConfig())
+		golden := mustDevice(sim.TestConfig())
 		if _, err := golden.Launch(sim.LaunchSpec{Prog: prog, NumBlocks: 2, WarpsPerBlock: 1, Setup: setup}); err != nil {
 			t.Fatal(err)
 		}
@@ -81,7 +84,7 @@ func TestFuzzDynamicGoldenEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("iter %d %v: %v", it, kind, err)
 			}
-			d := sim.MustNewDevice(sim.TestConfig())
+			d := mustDevice(sim.TestConfig())
 			d.AttachRuntime(tech)
 			if _, err := d.Launch(sim.LaunchSpec{Prog: prog, NumBlocks: 2, WarpsPerBlock: 1, Setup: setup}); err != nil {
 				t.Fatal(err)
@@ -109,4 +112,152 @@ func TestFuzzDynamicGoldenEquivalence(t *testing.T) {
 			}
 		}
 	}
+}
+
+// faultDetected reports whether err is an in-band fault detection: a
+// context-transfer escalation, a checksum/oracle integrity violation, a
+// lost preemption signal, or an execution trap caused by corrupted state.
+func faultDetected(err error) bool {
+	var tf *sim.TransferFaultError
+	var ie *sim.IntegrityError
+	return errors.As(err, &tf) || errors.As(err, &ie) ||
+		errors.Is(err, sim.ErrSignalLost) || sim.IsExecutionFault(err)
+}
+
+// clampUnit folds an arbitrary fuzzed float into [0, 1].
+func clampUnit(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Abs(x)
+	if x > 1 {
+		x = math.Mod(x, 1)
+	}
+	return x
+}
+
+// FuzzFaultRecovery drives a preempt/resume episode under seeded fault
+// injection and asserts the robustness invariant: every injected fault
+// is either detected in-band (and the episode recoverable through a
+// fault-free BASELINE re-run) or the run still produces golden output.
+// Silent wrong output — a clean finish with non-golden memory — fails.
+func FuzzFaultRecovery(f *testing.F) {
+	f.Add(uint64(1), 0.2, uint8(4), 0.5)
+	f.Add(uint64(7), 0.9, uint8(0), 0.25)
+	f.Add(uint64(42), 1.0, uint8(5), 0.75)
+	f.Add(uint64(99), 0.05, uint8(2), 0.9)
+	f.Fuzz(func(t *testing.T, seed uint64, rate float64, kindIdx uint8, sigFrac float64) {
+		const maxCycles = 100_000_000
+		rate = clampUnit(rate)
+		sigFrac = 0.9 * clampUnit(sigFrac)
+		prog := genLoopProgram(rand.New(rand.NewSource(int64(seed))), 10)
+		setup := func(w *sim.Warp) { w.SRegs[4] = 10 }
+		launch := func(d *sim.Device) {
+			t.Helper()
+			if _, err := d.Launch(sim.LaunchSpec{Prog: prog, NumBlocks: 2, WarpsPerBlock: 1, Setup: setup}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		golden := mustDevice(sim.TestConfig())
+		launch(golden)
+		if err := golden.Run(maxCycles); err != nil {
+			t.Fatalf("golden: %v\n%s", err, prog.Disassemble())
+		}
+		signal := int64(sigFrac * float64(golden.Now()))
+		checkGolden := func(d *sim.Device, what string) {
+			t.Helper()
+			for i := range golden.Mem {
+				if golden.Mem[i] != d.Mem[i] {
+					t.Fatalf("%s: mem[%d] = %#x, golden %#x (seed %d rate %.3f)\n%s",
+						what, i, d.Mem[i], golden.Mem[i], seed, rate, prog.Disassemble())
+				}
+			}
+		}
+
+		kind := Kinds()[int(kindIdx)%len(Kinds())]
+		tech, err := New(kind, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := mustDevice(sim.TestConfig())
+		if err := d.InjectFaults(faults.Preset(seed, rate)); err != nil {
+			t.Fatal(err)
+		}
+		d.AttachRuntime(tech)
+		launch(d)
+
+		// Full episode under injection. A persistently dropped signal
+		// escalates as ErrSignalLost after bounded re-raises; a Preempt
+		// refusal for non-fault reasons (SM already drained) skips the
+		// episode and just runs to completion.
+		skipped := false
+		runErr := func() error {
+			if err := d.RunUntil(func() bool { return d.Now() >= signal }, maxCycles); err != nil {
+				return err
+			}
+			var ep *sim.Episode
+			for attempt := 0; ep == nil; attempt++ {
+				e, err := d.Preempt(0, tech)
+				switch {
+				case err == nil:
+					ep = e
+				case errors.Is(err, sim.ErrSignalLost) && attempt < 16:
+					// redeliver
+				case errors.Is(err, sim.ErrSignalLost):
+					return err
+				default:
+					skipped = true
+					return d.Run(maxCycles)
+				}
+			}
+			if err := d.RunUntil(ep.Saved, maxCycles); err != nil {
+				return err
+			}
+			if err := d.Resume(ep); err != nil {
+				return err
+			}
+			if err := d.RunUntil(ep.Finished, maxCycles); err != nil {
+				return err
+			}
+			return d.Run(maxCycles)
+		}()
+
+		if runErr == nil {
+			// Clean finish (or skipped episode): output must be golden.
+			checkGolden(d, "fault run finished clean")
+			return
+		}
+		if skipped {
+			t.Fatalf("run-to-completion after skipped episode failed: %v", runErr)
+		}
+		if !faultDetected(runErr) {
+			t.Fatalf("fault escaped in-band detection (seed %d rate %.3f %v): %v", seed, rate, kind, runErr)
+		}
+
+		// Detected: degrade by re-running the episode fault-free through
+		// BASELINE; the result must be golden.
+		base, err := NewBaseline(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := mustDevice(sim.TestConfig())
+		fb.AttachRuntime(base)
+		launch(fb)
+		if err := fb.RunUntil(func() bool { return fb.Now() >= signal }, maxCycles); err != nil {
+			t.Fatal(err)
+		}
+		if ep, err := fb.Preempt(0, base); err == nil {
+			if err := fb.RunUntil(ep.Saved, maxCycles); err != nil {
+				t.Fatal(err)
+			}
+			if err := fb.Resume(ep); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fb.Run(maxCycles); err != nil {
+			t.Fatalf("BASELINE fallback failed: %v", err)
+		}
+		checkGolden(fb, "BASELINE fallback")
+	})
 }

@@ -1,0 +1,25 @@
+package preempt
+
+import (
+	"ctxback/internal/isa"
+	"ctxback/internal/sim"
+)
+
+// mustDevice builds a device from a test-verified static config;
+// construction failure is a test bug, so it panics.
+func mustDevice(cfg sim.Config) *sim.Device {
+	d, err := sim.NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// mustProg finalizes a statically constructed test program.
+func mustProg(b *isa.Builder) *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -13,7 +13,7 @@ import (
 // returns the final device memory.
 func goldenRun(t *testing.T, wl *kernels.Workload) (*sim.Device, int64) {
 	t.Helper()
-	d := sim.MustNewDevice(sim.TestConfig())
+	d := mustDevice(sim.TestConfig())
 	if _, err := wl.Launch(d); err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +32,7 @@ func preemptedRun(t *testing.T, wl *kernels.Workload, kind Kind, signalCycle int
 	if err != nil {
 		t.Fatalf("%v: %v", kind, err)
 	}
-	d := sim.MustNewDevice(sim.TestConfig())
+	d := mustDevice(sim.TestConfig())
 	d.AttachRuntime(tech)
 	launch, err := wl.Launch(d)
 	if err != nil {
@@ -226,7 +226,7 @@ func TestCKPTTakesPeriodicSnapshots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d := sim.MustNewDevice(sim.TestConfig())
+	d := mustDevice(sim.TestConfig())
 	d.AttachRuntime(tech)
 	if _, err := wl.Launch(d); err != nil {
 		t.Fatal(err)
@@ -251,7 +251,7 @@ func TestOSRBOverheadIsTiny(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(attach bool) int64 {
-		d := sim.MustNewDevice(sim.TestConfig())
+		d := mustDevice(sim.TestConfig())
 		if attach {
 			tech, err := New(CTXBack, wl.Prog)
 			if err != nil {

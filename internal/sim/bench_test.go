@@ -49,7 +49,7 @@ func BenchmarkSimExecLoop(b *testing.B) {
 	prog := benchLoopProgram(b)
 	var instrs int64
 	for b.Loop() {
-		d := MustNewDevice(TestConfig())
+		d := mustNewDevice(TestConfig())
 		_, err := d.Launch(LaunchSpec{
 			Prog: prog, NumBlocks: 4, WarpsPerBlock: 2,
 			Setup: func(w *Warp) {

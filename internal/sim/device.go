@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ctxback/internal/faults"
 	"ctxback/internal/isa"
 )
 
@@ -40,6 +41,12 @@ type Device struct {
 	tracer   *Tracer
 	Stats    DeviceStats
 
+	// faults is the attached fault injector (nil: every fault path is
+	// skipped, so disabled runs behave and cost exactly as before).
+	faults *faults.Injector
+	// resumeChecker is the installed resume-integrity oracle (nil: off).
+	resumeChecker func(w *Warp) error
+
 	hazardScratch []isa.Reg
 	defsScratch   []isa.Reg
 }
@@ -67,15 +74,6 @@ func NewDevice(cfg Config) (*Device, error) {
 	return d, nil
 }
 
-// MustNewDevice panics on config errors.
-func MustNewDevice(cfg Config) *Device {
-	d, err := NewDevice(cfg)
-	if err != nil {
-		panic(err)
-	}
-	return d
-}
-
 // Now returns the current simulated cycle.
 func (d *Device) Now() int64 { return d.now }
 
@@ -89,6 +87,11 @@ func (d *Device) Micros() float64 { return d.Cfg.CyclesToMicros(d.now) }
 // the two resources frees later — switch time tracks context size but
 // degrades under bus contention, as the paper observes.
 func (d *Device) accessGlobal(start int64, bytes int, ctxPath, isLoad bool) int64 {
+	if d.faults != nil {
+		// Injected pipeline stalls delay the transaction before it
+		// contends for the bus.
+		start += d.faults.Stall()
+	}
 	busDur := int64(math.Ceil(float64(bytes) / d.Cfg.MemBytesPerCycle))
 	if busDur < 1 {
 		busDur = 1

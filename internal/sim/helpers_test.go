@@ -1,0 +1,22 @@
+package sim
+
+import "ctxback/internal/isa"
+
+// mustNewDevice builds a device from a test-verified static config;
+// construction failure is a test bug, so it panics.
+func mustNewDevice(cfg Config) *Device {
+	d, err := NewDevice(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// mustProg finalizes a statically constructed test program.
+func mustProg(b *isa.Builder) *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -22,6 +22,10 @@ type Episode struct {
 	ResumeStart   int64
 	AllResumed    int64
 
+	// Faults counts what this episode survived under fault injection
+	// (all zero when no injector is attached).
+	Faults EpisodeFaults
+
 	savedCount   int
 	resumedCount int
 }
@@ -41,6 +45,12 @@ func (d *Device) Preempt(smID int, rt Runtime) (*Episode, error) {
 	sm := d.SMs[smID]
 	if sm.episode != nil && !sm.episode.Finished() {
 		return nil, fmt.Errorf("sim: SM %d already has an active episode", smID)
+	}
+	if d.faults != nil && d.faults.DropSignal(smID) {
+		// The signal was lost in delivery: no SM state changes. Callers
+		// recover by re-raising (each delivery attempt draws its own
+		// fault decision).
+		return nil, fmt.Errorf("sim: SM %d: %w", smID, ErrSignalLost)
 	}
 	ep := &Episode{SM: sm, rt: rt, pending: true, SignalCycle: d.now,
 		frozen: make(map[*Launch]bool)}
@@ -72,6 +82,12 @@ func (d *Device) Preempt(smID int, rt Runtime) (*Episode, error) {
 			w.candValid = false
 		}
 	}
+	if d.faults != nil && d.faults.DupSignal(smID) {
+		// A duplicated delivery raises the signal a second time while the
+		// episode is active; the active-episode guard above rejects the
+		// duplicate, so it is absorbed. Surface that as a counter.
+		ep.Faults.AbsorbedDupSignals++
+	}
 	return ep, nil
 }
 
@@ -84,6 +100,11 @@ func (sm *SM) beginPreempt(w *Warp, t int64) {
 		PCAtSignal:  w.PC,
 	}
 	w.preemptRec = rec
+	if d := sm.Dev; d.faults != nil || d.resumeChecker != nil {
+		// Capture the signal-point architectural state for the
+		// resume-integrity oracle before any routine instruction runs.
+		w.snapshot = w.snapshotArch()
+	}
 	w.ctx = NewSavedContext()
 	w.enterRoutine(ModePreemptRoutine, ep.rt.PreemptRoutine(w))
 	ep.noteEntered()
@@ -102,6 +123,12 @@ func (ep *Episode) noteEntered() {
 }
 
 func (ep *Episode) onWarpSaved(w *Warp, cycle int64) {
+	if inj := ep.SM.Dev.faults; inj != nil && inj.ChecksumEnabled() {
+		// Seal the saved context: the checksum is verified before the
+		// buffer is consumed at resume.
+		w.preemptRec.SavedChecksum = w.ctx.Checksum()
+		w.preemptRec.HasChecksum = true
+	}
 	ep.savedCount++
 	if cycle > ep.AllSavedCycle {
 		ep.AllSavedCycle = cycle
@@ -180,6 +207,28 @@ func (d *Device) Resume(ep *Episode) error {
 	// free at AllSavedCycle. Resuming cannot begin earlier.
 	start := max(d.now, ep.AllSavedCycle)
 	ep.ResumeStart = start
+	// Fault injection on the swapped-out contexts happens at the last
+	// moment before they are consumed: corruption models device-memory
+	// bit flips accumulated while the warp was preempted, and the
+	// save-time checksum is the detector. A mismatch aborts the resume
+	// with a structured IntegrityError — the device must then be
+	// discarded and the episode degraded to a safe technique; the
+	// corrupted context is never silently restored.
+	if d.faults != nil {
+		for _, w := range ep.Victims {
+			if mask, ok := d.faults.CorruptContext(w.ID); ok {
+				corruptContext(w.ctx, mask)
+				ep.Faults.CorruptedContexts++
+			}
+		}
+		for _, w := range ep.Victims {
+			if rec := w.preemptRec; rec.HasChecksum && w.ctx.Checksum() != rec.SavedChecksum {
+				ep.Faults.ChecksumMismatches++
+				return &IntegrityError{WarpID: w.ID, Stage: "checksum",
+					Detail: "saved context does not match its save-time checksum"}
+			}
+		}
+	}
 	for _, w := range ep.Victims {
 		w.preemptRec.ResumeStart = start
 		instrs, override := ep.rt.ResumeRoutine(w)

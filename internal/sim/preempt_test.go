@@ -116,7 +116,7 @@ func checkSum(t *testing.T, d *Device, loops, numWarps int) {
 
 func TestPreemptResumeRoundTrip(t *testing.T) {
 	const loops, warps = 400, 4
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	launchSum(t, d, loops, warps)
 
 	// Run partway, then preempt SM 0.
@@ -168,13 +168,13 @@ func TestPreemptResumeRoundTrip(t *testing.T) {
 func TestPreemptMatchesGoldenRun(t *testing.T) {
 	const loops, warps = 300, 2
 	// Golden: uninterrupted run.
-	golden := MustNewDevice(TestConfig())
+	golden := mustNewDevice(TestConfig())
 	launchSum(t, golden, loops, warps)
 	if err := golden.Run(10_000_000); err != nil {
 		t.Fatal(err)
 	}
 	// Preempted run.
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	launchSum(t, d, loops, warps)
 	if err := d.RunUntil(func() bool { return d.Now() > 200 }, 1_000_000); err != nil {
 		t.Fatal(err)
@@ -226,7 +226,7 @@ fast:
   v_gstore v0, v3, 0
   s_endpgm
 `)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	_, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 2, Setup: func(w *Warp) {
 		w.SRegs[0] = uint64(w.WarpInBlk)
 	}})
@@ -256,7 +256,7 @@ fast:
 }
 
 func TestPreemptErrors(t *testing.T) {
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	if _, err := d.Preempt(99, naiveRuntime{}); err == nil {
 		t.Error("bad SM id must error")
 	}
@@ -278,7 +278,7 @@ func TestPreemptErrors(t *testing.T) {
 
 func TestPreemptFreesSMForOtherKernel(t *testing.T) {
 	const loops, warps = 400, 2
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	launchSum(t, d, loops, warps)
 	if err := d.RunUntil(func() bool { return d.Now() > 300 }, 1_000_000); err != nil {
 		t.Fatal(err)

@@ -36,7 +36,7 @@ func TestRevertRoundTripQuick(t *testing.T) {
 
 		prog := &isa.Program{Name: "rt", NumVRegs: 2, NumSRegs: 16,
 			Instrs: []isa.Instruction{{Op: isa.SEndpgm}}}
-		d := MustNewDevice(TestConfig())
+		d := mustNewDevice(TestConfig())
 		l, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 1})
 		if err != nil {
 			t.Fatal(err)
@@ -92,7 +92,7 @@ func TestShiftRevertRoundTrip(t *testing.T) {
 	}
 	prog := &isa.Program{Name: "sh", NumVRegs: 1, NumSRegs: 16,
 		Instrs: []isa.Instruction{{Op: isa.SEndpgm}}}
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	l, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 1})
 	if err != nil {
 		t.Fatal(err)

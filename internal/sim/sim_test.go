@@ -20,7 +20,7 @@ func mustAsm(t *testing.T, src string) *isa.Program {
 // completion.
 func runSimple(t *testing.T, prog *isa.Program, setup func(w *Warp)) *Device {
 	t.Helper()
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	if _, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 1, Setup: setup}); err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestGlobalLoadStoreRoundTrip(t *testing.T) {
   v_gstore v2, v1, 0
   s_endpgm
 `)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	d.Mem[0] = 5 // scalar arg at addr 0
 	for l := 0; l < isa.WarpSize; l++ {
 		d.Mem[1+l] = uint32(l * 10)
@@ -238,7 +238,7 @@ func TestLDSAndBarrier(t *testing.T) {
   v_gstore v4, v3, 0
   s_endpgm
 `)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	_, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 2, Setup: func(w *Warp) {
 		w.SRegs[0] = uint64(w.WarpInBlk)
 	}})
@@ -263,7 +263,7 @@ func TestAtomicAdd(t *testing.T) {
   v_gatomic_add v0, v1, 0
   s_endpgm
 `)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	_, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -286,7 +286,7 @@ func TestMemoryFaultDetected(t *testing.T) {
   v_gload v1, v0, 0
   s_endpgm
 `)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	if _, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestMemoryFaultDetected(t *testing.T) {
 }
 
 func TestOccupancyLimits(t *testing.T) {
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	small := &isa.Program{Name: "small", NumVRegs: 8, NumSRegs: 16,
 		Instrs: []isa.Instruction{{Op: isa.SEndpgm}}}
 	occ, err := d.ComputeOccupancy(small, 1)
@@ -347,7 +347,7 @@ func TestMultiBlockDispatchWaves(t *testing.T) {
   v_gstore v0, v1, 0
   s_endpgm
 `)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	numBlocks := d.Cfg.NumSMs*d.Cfg.MaxWarpsPerSM + 5 // forces >1 wave
 	_, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: numBlocks, WarpsPerBlock: 1, Setup: func(w *Warp) {
 		w.SRegs[0] = uint64(w.ID)
@@ -377,7 +377,7 @@ func TestTimingMemoryLatency(t *testing.T) {
   v_gstore v1, v0, 0
   s_endpgm
 `)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	_, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -403,7 +403,7 @@ func TestTimingLatencyHiding(t *testing.T) {
   s_endpgm
 `)
 	run := func(warps int) int64 {
-		d := MustNewDevice(TestConfig())
+		d := mustNewDevice(TestConfig())
 		_, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: warps, WarpsPerBlock: 1, Setup: func(w *Warp) {
 			for l := 0; l < isa.WarpSize; l++ {
 				w.VRegs[1][l] = uint32((w.ID*isa.WarpSize + l) * 4)

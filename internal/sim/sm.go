@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"ctxback/internal/faults"
 	"ctxback/internal/isa"
 )
 
@@ -128,6 +129,35 @@ func (sm *SM) issue(w *Warp, t int64) error {
 			}
 		}
 		done = complete
+		// Fault injection on context-transfer stores/loads. Context ops
+		// are idempotent (slot rewrites), so a transient fault retries
+		// the same routine instruction after a backoff — the traffic
+		// above was charged (the transfer happened and failed); the
+		// retry re-charges on its next issue. Permanent faults and
+		// exhausted retries escalate to a structured error.
+		if d.faults != nil && ctxPath {
+			save := w.Mode == ModePreemptRoutine
+			switch d.faults.CtxTransferFault(w.ID, save) {
+			case faults.Transient:
+				if w.ctxRetries < d.faults.Config().MaxRetries {
+					w.ctxRetries++
+					if ep := sm.episode; ep != nil {
+						ep.Faults.TransientRetries++
+					}
+					backoff := int64(d.faults.Config().BackoffCycles) * int64(w.ctxRetries)
+					w.ReadyAt = done + backoff
+					// Leave the stream position unchanged: the same
+					// instruction re-issues after the backoff.
+					return nil
+				}
+				return &TransferFaultError{WarpID: w.ID, SM: sm.ID, Save: save,
+					Permanent: false, Attempts: w.ctxRetries + 1}
+			case faults.Permanent:
+				return &TransferFaultError{WarpID: w.ID, SM: sm.ID, Save: save,
+					Permanent: true, Attempts: w.ctxRetries + 1}
+			}
+			w.ctxRetries = 0
+		}
 	case eff.ldsBytes > 0:
 		complete := sm.accessLDS(t+int64(info.IssueCycles), eff.ldsBytes)
 		if info.HasDst && in.Dst.Valid() {
@@ -198,6 +228,9 @@ func (sm *SM) issue(w *Warp, t int64) error {
 		if rec := w.preemptRec; rec != nil && rec.ResumeComplete == 0 && w.DynCount >= rec.DynAtSignal {
 			rec.ResumeComplete = restored
 			sm.episode.onWarpResumed(w, rec.ResumeComplete)
+			if err := d.checkResume(w); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -206,6 +239,9 @@ func (sm *SM) issue(w *Warp, t int64) error {
 		if rec := w.preemptRec; rec != nil && rec.ResumeComplete == 0 && rec.ResumeStart > 0 && w.DynCount >= rec.DynAtSignal {
 			rec.ResumeComplete = max(done, w.lastStoreDone)
 			sm.episode.onWarpResumed(w, rec.ResumeComplete)
+			if err := d.checkResume(w); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

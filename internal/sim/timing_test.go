@@ -7,7 +7,7 @@ import (
 )
 
 func TestAdvanceTo(t *testing.T) {
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	d.AdvanceTo(1000)
 	if d.Now() != 1000 {
 		t.Errorf("Now = %d", d.Now())
@@ -23,9 +23,9 @@ func TestAdvanceTo(t *testing.T) {
 // size rides the fast bus.
 func TestContextPathSlowerThanBus(t *testing.T) {
 	cfg := TestConfig()
-	d := MustNewDevice(cfg)
+	d := mustNewDevice(cfg)
 	busDone := d.accessGlobal(0, 4096, false, false)
-	d2 := MustNewDevice(cfg)
+	d2 := mustNewDevice(cfg)
 	ctxDone := d2.accessGlobal(0, 4096, true, false)
 	if ctxDone <= busDone {
 		t.Errorf("context path (%d) must be slower than the bus (%d)", ctxDone, busDone)
@@ -40,8 +40,8 @@ func TestContextPathSlowerThanBus(t *testing.T) {
 // shorter than preemption).
 func TestContextRestoreFasterThanSave(t *testing.T) {
 	cfg := TestConfig()
-	save := MustNewDevice(cfg).accessGlobal(0, 1<<16, true, false)
-	load := MustNewDevice(cfg).accessGlobal(0, 1<<16, true, true)
+	save := mustNewDevice(cfg).accessGlobal(0, 1<<16, true, false)
+	load := mustNewDevice(cfg).accessGlobal(0, 1<<16, true, true)
 	if load >= save {
 		t.Errorf("restore (%d) must be faster than save (%d)", load, save)
 	}
@@ -51,10 +51,10 @@ func TestContextRestoreFasterThanSave(t *testing.T) {
 // slows a context switch (the paper's contention observation).
 func TestContextPathContention(t *testing.T) {
 	cfg := TestConfig()
-	quiet := MustNewDevice(cfg)
+	quiet := mustNewDevice(cfg)
 	quietDone := quiet.accessGlobal(0, 1024, true, false)
 
-	busy := MustNewDevice(cfg)
+	busy := mustNewDevice(cfg)
 	// Saturate the bus first.
 	for i := 0; i < 64; i++ {
 		busy.accessGlobal(0, 1<<16, false, false)
@@ -78,10 +78,10 @@ func TestPreemptLatencyScalesWithContext(t *testing.T) {
 		b.I(isa.SCmpGt, isa.R(isa.S(0)), isa.Imm(0))
 		b.Branch(isa.SCBranchSCC1, "loop")
 		b.I(isa.SEndpgm)
-		return b.MustBuild()
+		return mustProg(b)
 	}
 	measure := func(nregs int) int64 {
-		d := MustNewDevice(TestConfig())
+		d := mustNewDevice(TestConfig())
 		if _, err := d.Launch(LaunchSpec{Prog: mk(nregs), NumBlocks: 1, WarpsPerBlock: 1}); err != nil {
 			t.Fatal(err)
 		}
@@ -105,7 +105,7 @@ func TestPreemptLatencyScalesWithContext(t *testing.T) {
 
 func TestEpisodeSavedBytesMatchContext(t *testing.T) {
 	prog := sumKernelForBytes(t)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	if _, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 1, Setup: func(w *Warp) {
 		w.SRegs[0] = 500
 	}}); err != nil {
@@ -137,5 +137,5 @@ func sumKernelForBytes(t *testing.T) *isa.Program {
 	b.I(isa.SCmpGt, isa.R(isa.S(0)), isa.Imm(0))
 	b.Branch(isa.SCBranchSCC1, "loop")
 	b.I(isa.SEndpgm)
-	return b.MustBuild()
+	return mustProg(b)
 }

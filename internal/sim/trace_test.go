@@ -15,7 +15,7 @@ func TestTracerRecordsChronologically(t *testing.T) {
   v_gstore v2, v1, 0
   s_endpgm
 `)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	tr := d.EnableTrace(64)
 	if _, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 1}); err != nil {
 		t.Fatal(err)
@@ -54,7 +54,7 @@ loop:
   s_cbranch_scc1 loop
   s_endpgm
 `)
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	tr := d.EnableTrace(16)
 	if _, err := d.Launch(LaunchSpec{Prog: prog, NumBlocks: 1, WarpsPerBlock: 1}); err != nil {
 		t.Fatal(err)
@@ -74,7 +74,7 @@ loop:
 
 func TestTracerSeesPreemptionRoutines(t *testing.T) {
 	const loops, warps = 200, 2
-	d := MustNewDevice(TestConfig())
+	d := mustNewDevice(TestConfig())
 	tr := d.EnableTrace(4096)
 	tr.Filter = func(w *Warp) bool { return w.Mode != ModeKernel }
 	launchSum(t, d, loops, warps)

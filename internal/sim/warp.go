@@ -80,6 +80,14 @@ type Warp struct {
 	skipHookOnce bool          // suppress re-hooking the instruction a hook just ran for
 	ctx          *SavedContext // context buffer while preempted / resuming
 	preemptRec   *PreemptRecord
+	// snapshot is the architectural state captured when the preemption
+	// signal was observed (only with faults or a resume checker enabled);
+	// the resume-integrity oracle diffs against it.
+	snapshot *ArchSnapshot
+	// ctxRetries counts issue attempts of the current context-transfer
+	// instruction that hit an injected transient fault (reset when the
+	// instruction finally retires).
+	ctxRetries int
 	// lastStoreDone is the completion cycle of the warp's latest
 	// outstanding store; endpgm/barrier/ctx_exit wait for it.
 	lastStoreDone int64
@@ -151,6 +159,12 @@ type PreemptRecord struct {
 	PCAtSignal     int
 	SavedBytes     int64 // context traffic written at preemption
 	RestoredBytes  int64 // context traffic read at resume
+
+	// SavedChecksum is the context-buffer checksum computed when the
+	// preemption routine finished (only with faults enabled and
+	// checksums on; HasChecksum marks validity). Verified at resume.
+	SavedChecksum uint64
+	HasChecksum   bool
 }
 
 func newWarp(id, blockID, warpInBlk int, prog *isa.Program, lds *LDSBlock) *Warp {

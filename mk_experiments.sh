@@ -121,5 +121,27 @@ Every number above comes from runs whose final device memory was compared
 word-for-word against an uninterrupted golden execution; a technique that
 corrupted any output would fail the harness (and the test suite's
 `TestGoldenEquivalenceAllKernelsAllTechniques`) before reaching this file.
+
+## Robustness under fault injection (chaos)
+
+All of the above runs fault-free. `go run ./cmd/benchtab -chaos` re-runs
+one preempt/resume episode per (detection mode, fault rate, technique,
+kernel) cell under the seed-driven injector (`internal/faults`): context
+save/restore failures, bit flips in swapped-out contexts,
+dropped/duplicated preemption signals, memory stalls. Each cell is
+classified — `C` clean, `R` recovered in-episode (bounded retries,
+signal redelivery), `F` detected and re-run through the BASELINE
+fallback, `U` unrecoverable, `S!` silent wrong output. The acceptance
+bar is structural, not statistical: **zero `S!` and zero `U` at any
+seed** — every injected corruption is caught by the save-time checksum,
+the resume-integrity oracle, or an execution trap before wrong output
+can commit, and the BASELINE fallback always completes with golden
+output. `-faults RATE` pins one rate, `-fault-seed N` reseeds;
+identical seeds give identical reports at every `-procs` setting
+(`TestChaosDeterministicAcrossWorkers`). Chaos is opt-in: `-all` never
+enables it, so everything above is unaffected.
+
+DESIGN.md §5 documents the fault model; `TestChaosNoSilentWrong` and
+`FuzzFaultRecovery` (internal/preempt) enforce the same invariant in CI.
 FOOTER
 echo "wrote EXPERIMENTS.md"
