@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench eval
+.PHONY: all build test check bench eval trace-smoke evalcheck
 
 all: build
 
@@ -10,12 +10,21 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the PR gate: vet everything, then run the packages that carry
-# concurrency (the parallel harness and the simulator it drives) under
-# the race detector.
+# check is the PR gate: vet everything, run the packages that carry
+# concurrency (the parallel harness, the simulator it drives, and the
+# metrics registry they share) under the race detector, then smoke the
+# tracing pipeline end to end.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/harness/ ./internal/sim/
+	$(GO) test -race ./internal/harness/ ./internal/sim/ ./internal/trace/
+	$(MAKE) trace-smoke
+
+# trace-smoke runs one preempted kernel with -trace and validates the
+# emitted Chrome trace-event JSON (known phase types, cycle-monotone
+# order) with tracecheck.
+trace-smoke:
+	$(GO) run ./cmd/gpusim -kernel VA -technique CTXBack -trace /tmp/ctxback-smoke.trace.json
+	$(GO) run ./cmd/tracecheck /tmp/ctxback-smoke.trace.json
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/core/ ./internal/preempt/
@@ -24,3 +33,11 @@ bench:
 eval:
 	$(GO) run ./cmd/benchtab -all -samples 3 > eval_output.txt
 	./mk_experiments.sh
+
+# evalcheck guards the observability layer's zero-overhead contract:
+# with tracing and metrics disabled (the default), a full evaluation
+# sweep must reproduce eval_output.txt byte for byte.
+evalcheck:
+	$(GO) run ./cmd/benchtab -all -samples 3 > /tmp/ctxback-evalcheck.txt
+	diff -u eval_output.txt /tmp/ctxback-evalcheck.txt
+	@echo "eval output byte-identical"

@@ -5,8 +5,14 @@
 // Usage:
 //
 //	benchtab [-quick] [-samples N] [-procs N] [-table1] [-fig7] [-fig8]
-//	         [-fig9] [-fig10] [-ablation] [-summary] [-all]
+//	         [-fig9] [-fig10] [-ablation] [-summary] [-all] [-metrics]
 //	benchtab -chaos [-faults RATE] [-fault-seed N]
+//
+// -metrics appends the observability report after the requested
+// experiments: the episode counters/latency histograms accumulated
+// while measuring, plus the per-(kernel, technique) phase breakdown
+// (drain/save/restore/replay). The breakdown reuses the memoized
+// episode matrix, so with -all it costs no extra simulation.
 package main
 
 import (
@@ -16,6 +22,8 @@ import (
 	"os"
 
 	"ctxback/internal/harness"
+	"ctxback/internal/preempt"
+	"ctxback/internal/trace"
 )
 
 func main() {
@@ -33,6 +41,7 @@ func main() {
 		contention = flag.String("contention", "", "BASELINE switch time vs busy SMs for one benchmark (e.g. -contention KM)")
 		all        = flag.Bool("all", false, "everything (fault-free evaluation; chaos stays opt-in)")
 		procs      = flag.Int("procs", 0, "episode workers: 0 = GOMAXPROCS, 1 = serial (identical numbers either way)")
+		metrics    = flag.Bool("metrics", false, "append episode counters, latency histograms and the phase breakdown")
 		chaos      = flag.Bool("chaos", false, "fault-injection robustness sweep across kernels x techniques")
 		faultRate  = flag.Float64("faults", 0, "chaos fault rate in [0,1] (0 = sweep the default rates)")
 		faultSeed  = flag.Uint64("fault-seed", 0, "chaos fault seed (0 = default)")
@@ -59,6 +68,9 @@ func main() {
 		opts.Samples = *samples
 	}
 	opts.Parallelism = *procs
+	if *metrics {
+		opts.Metrics = trace.NewRegistry()
+	}
 	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *ablation || *summary || *qos != "" || *contention != "" || *chaos) {
 		*all = true
 	}
@@ -135,6 +147,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(harness.RenderContention(*contention, rows))
+	}
+	if *metrics {
+		rows, err := r.PhaseBreakdown(preempt.Kinds())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.RenderPhases(preempt.Kinds(), rows))
+		fmt.Println(opts.Metrics.Render())
 	}
 	if *chaos {
 		co := harness.DefaultChaosOptions()

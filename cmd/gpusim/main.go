@@ -6,7 +6,14 @@
 //
 //	gpusim -kernel KM                         # plain run
 //	gpusim -kernel KM -technique CTXBack -at 0.5
+//	gpusim -kernel KM -technique CTXBack -trace km.trace.json
 //	gpusim -kernel KM -technique CTXBack -faults 0.05 -fault-seed 1
+//
+// With -trace FILE the preempted run records structured episode, warp
+// and memory-pipeline events and writes them as Chrome trace-event JSON:
+// open the file in chrome://tracing or https://ui.perfetto.dev to see
+// the preemption timeline (one process per SM, one thread per warp,
+// timestamps in simulated cycles).
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"ctxback/internal/kernels"
 	"ctxback/internal/preempt"
 	"ctxback/internal/sim"
+	"ctxback/internal/trace"
 )
 
 func main() {
@@ -32,7 +40,8 @@ func main() {
 		blocks    = flag.Int("blocks", 8, "thread blocks")
 		warps     = flag.Int("warps", 2, "warps per block")
 		iters     = flag.Int("iters", 16, "main-loop iterations per warp")
-		trace     = flag.Int("trace", 0, "print the last N executed instructions of the preempted run")
+		tracePath = flag.String("trace", "", "write the preempted run's episode timeline as Chrome trace-event JSON to this file (chrome://tracing)")
+		tailN     = flag.Int("tail", 0, "print the last N executed instructions of the preempted run")
 		procs     = flag.Int("procs", 0, "cap GOMAXPROCS (0 = leave at the runtime default)")
 		faultRate = flag.Float64("faults", 0, "fault-injection rate in [0,1] for the preempted run (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection seed")
@@ -107,7 +116,7 @@ func main() {
 	// Preempted run, possibly under fault injection. A detected fault
 	// (transfer escalation or integrity violation) degrades gracefully:
 	// the episode re-runs fault-free through the BASELINE technique.
-	runErr := runPreempted(cfg, factory, kind, signal, *faultRate, faultCfg, *trace)
+	runErr := runPreempted(cfg, factory, kind, signal, *faultRate, faultCfg, *tailN, *tracePath)
 	if runErr == nil {
 		return
 	}
@@ -118,7 +127,7 @@ func main() {
 	}
 	fmt.Printf("fault detected in-band: %v\n", runErr)
 	fmt.Println("degrading: re-running the episode fault-free through BASELINE")
-	if err := runPreempted(cfg, factory, preempt.Baseline, signal, 0, faults.Config{}, 0); err != nil {
+	if err := runPreempted(cfg, factory, preempt.Baseline, signal, 0, faults.Config{}, 0, ""); err != nil {
 		fail(fmt.Errorf("BASELINE fallback failed: %w", err))
 	}
 }
@@ -126,8 +135,10 @@ func main() {
 // runPreempted runs one preemption episode end to end and verifies the
 // final output against the CPU reference. Lost preemption signals are
 // re-raised (bounded); detected faults surface as the returned error.
+// A non-empty tracePath attaches an event recorder to the device and
+// writes the episode timeline as Chrome trace-event JSON after the run.
 func runPreempted(cfg sim.Config, factory func() *kernels.Workload, kind preempt.Kind,
-	signal int64, faultRate float64, faultCfg faults.Config, trace int) error {
+	signal int64, faultRate float64, faultCfg faults.Config, tail int, tracePath string) error {
 	wl := factory()
 	tech, err := preempt.New(kind, wl.Prog)
 	if err != nil {
@@ -143,8 +154,13 @@ func runPreempted(cfg sim.Config, factory func() *kernels.Workload, kind preempt
 		}
 	}
 	var tr *sim.Tracer
-	if trace > 0 {
-		tr = d.EnableTrace(trace)
+	if tail > 0 {
+		tr = d.EnableTrace(tail)
+	}
+	var rec *trace.Recorder
+	if tracePath != "" {
+		rec = trace.NewRecorder()
+		d.AttachRecorder(rec)
 	}
 	d.AttachRuntime(tech)
 	if _, err := wl.Launch(d); err != nil {
@@ -193,7 +209,21 @@ func runPreempted(cfg sim.Config, factory func() *kernels.Workload, kind preempt
 			ep.Faults.TransientRetries)
 	}
 	if tr != nil {
-		fmt.Printf("\nlast %d executed instructions:\n%s", trace, tr.Render())
+		fmt.Printf("\nlast %d executed instructions:\n%s", tail, tr.Render())
+	}
+	if rec != nil {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.WriteChromeTrace(f, rec.Events()); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("wrote %d trace events to %s (open in chrome://tracing)\n", rec.Len(), tracePath)
 	}
 	return nil
 }

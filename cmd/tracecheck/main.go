@@ -1,0 +1,47 @@
+// Command tracecheck validates Chrome trace-event JSON files produced
+// by gpusim -trace: known phase types, non-negative timestamps and
+// durations, and cycle-monotone event order. Exit status 1 on the
+// first invalid file, so CI can smoke-test the tracing pipeline:
+//
+//	gpusim -kernel VA -technique CTXBack -trace va.trace.json
+//	tracecheck va.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ctxback/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck FILE...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			bad = true
+			continue
+		}
+		n, err := trace.ValidateChromeTrace(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: %d events ok\n", path, n)
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

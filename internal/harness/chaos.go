@@ -155,9 +155,9 @@ func (r *ChaosReport) Unrecoverable() int { return r.Counts[ChaosUnrecoverable] 
 
 // chaosRun is the raw outcome of one episode attempt.
 type chaosRun struct {
-	detected  error // in-band detection, nil if none
-	verifyErr error // final output vs the CPU reference
-	skipped   bool
+	detected                                  error // in-band detection, nil if none
+	verifyErr                                 error // final output vs the CPU reference
+	skipped                                   bool
 	retries, reRaised, dupAbsorbed, corrupted int
 }
 
@@ -279,13 +279,17 @@ func (o *Options) chaosEpisode(p *prepared, kind preempt.Kind, signal int64,
 			}
 			continue
 		}
-		// SM 0 drained before the signal landed: nothing to preempt;
-		// the uninterrupted remainder must still verify.
-		run.skipped = true
-		if err := d.Run(o.MaxCycles); err != nil {
-			return run, err
+		if errors.Is(err, sim.ErrDrained) {
+			// SM 0 drained before the signal landed: nothing to preempt;
+			// the uninterrupted remainder must still verify.
+			run.skipped = true
+			if err := d.Run(o.MaxCycles); err != nil {
+				return run, err
+			}
+			return finish()
 		}
-		return finish()
+		// Anything else is a real preemption failure, not a drain.
+		return run, err
 	}
 	step := func(runErr error) (done bool, fatal error) {
 		if runErr == nil {

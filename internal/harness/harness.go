@@ -5,11 +5,13 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 
 	"ctxback/internal/kernels"
 	"ctxback/internal/preempt"
 	"ctxback/internal/sim"
+	"ctxback/internal/trace"
 )
 
 // Options configures an evaluation.
@@ -30,6 +32,22 @@ type Options struct {
 	// 1 is the legacy serial path, n>1 forces n workers. Reported
 	// numbers are identical at every setting; only wall-clock changes.
 	Parallelism int
+	// Metrics, when non-nil, receives evaluation counters and latency
+	// histograms (episodes measured/drained, per-phase cycle
+	// distributions). All updates are atomic, so the registry is shared
+	// safely by the parallel worker pool.
+	Metrics *trace.Registry
+	// Logf, when non-nil, receives diagnostic messages (e.g. sample
+	// points collapsing on short golden runs). nil is silent; reported
+	// numbers never depend on it.
+	Logf func(format string, args ...any)
+}
+
+// logf forwards to Options.Logf when set.
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
 }
 
 // DefaultOptions is the configuration used for EXPERIMENTS.md.
@@ -104,12 +122,36 @@ func (o *Options) prepare(factory kernels.Factory) (*prepared, error) {
 	return &prepared{wl: wl, goldenCycles: d.Now()}, nil
 }
 
-// EpisodeStats is one measured preemption episode.
+// EpisodeStats is one measured preemption episode. The four phase fields
+// decompose the two headline latencies: for a single episode
+// DrainCycles+SaveCycles == PreemptCycles and RestoreCycles+ReplayCycles
+// == ResumeCycles exactly (sim.Episode.Phases reconciles by
+// construction); averaged stats reconcile to within integer-division
+// rounding per field.
 type EpisodeStats struct {
 	PreemptCycles int64
 	ResumeCycles  int64
 	SavedBytes    int64
 	Victims       int
+
+	DrainCycles   int64 // signal → last victim entered its routine
+	SaveCycles    int64 // → SM released
+	RestoreCycles int64 // resume start → last context restored
+	ReplayCycles  int64 // → logical progress regained
+}
+
+// classifyPreemptErr discriminates the benign drained outcome (the SM
+// had no running warps left — an expected race between the signal and
+// kernel completion) from real preemption failures, which must
+// propagate. Non-drain errors pass through unchanged.
+func classifyPreemptErr(err error) (drained bool, failure error) {
+	if err == nil {
+		return false, nil
+	}
+	if errors.Is(err, sim.ErrDrained) {
+		return true, nil
+	}
+	return false, err
 }
 
 // measure preempts SM 0 at signalCycle under the technique, resumes
@@ -137,7 +179,14 @@ func (o *Options) measure(p *prepared, kind preempt.Kind, signalCycle int64) (Ep
 	}
 	ep, err := d.Preempt(0, tech)
 	if err != nil {
-		return EpisodeStats{}, false, nil // SM 0 drained
+		drained, failure := classifyPreemptErr(err)
+		if drained {
+			if m := o.Metrics; m != nil {
+				m.Counter("episodes.drained").Add(1)
+			}
+			return EpisodeStats{}, false, nil
+		}
+		return EpisodeStats{}, false, fmt.Errorf("%s/%v preempt: %w", p.wl.Abbrev, kind, failure)
 	}
 	if err := d.RunUntil(ep.Saved, o.MaxCycles); err != nil {
 		return EpisodeStats{}, false, fmt.Errorf("%s/%v save: %w", p.wl.Abbrev, kind, err)
@@ -148,11 +197,27 @@ func (o *Options) measure(p *prepared, kind preempt.Kind, signalCycle int64) (Ep
 	if err := d.RunUntil(ep.Finished, o.MaxCycles); err != nil {
 		return EpisodeStats{}, false, fmt.Errorf("%s/%v resume: %w", p.wl.Abbrev, kind, err)
 	}
+	ph := ep.Phases()
 	stats := EpisodeStats{
 		PreemptCycles: ep.PreemptLatencyCycles(),
 		ResumeCycles:  ep.ResumeCycles(),
 		SavedBytes:    ep.SavedBytes(),
 		Victims:       len(ep.Victims),
+		DrainCycles:   ph.Drain,
+		SaveCycles:    ph.Save,
+		RestoreCycles: ph.Restore,
+		ReplayCycles:  ph.Replay,
+	}
+	if m := o.Metrics; m != nil {
+		m.Counter("episodes.measured").Add(1)
+		m.Counter("episodes.saved_bytes").Add(stats.SavedBytes)
+		b := trace.DefaultCycleBuckets
+		m.Histogram("episode.preempt_cycles", b).Observe(stats.PreemptCycles)
+		m.Histogram("episode.resume_cycles", b).Observe(stats.ResumeCycles)
+		m.Histogram("episode.drain_cycles", b).Observe(ph.Drain)
+		m.Histogram("episode.save_cycles", b).Observe(ph.Save)
+		m.Histogram("episode.restore_cycles", b).Observe(ph.Restore)
+		m.Histogram("episode.replay_cycles", b).Observe(ph.Replay)
 	}
 	if o.Verify {
 		if err := d.Run(o.MaxCycles); err != nil {
@@ -166,21 +231,29 @@ func (o *Options) measure(p *prepared, kind preempt.Kind, signalCycle int64) (Ep
 }
 
 // samplePoints spreads n signal cycles over (0.15, 0.85) of the golden
-// run, avoiding the ramp-up and drain phases.
+// run, avoiding the ramp-up and drain phases. Points are clamped into
+// [1, golden] (a zero-cycle signal would fire before any instruction
+// issues) and de-duplicated: a short golden run collapses adjacent
+// fractions onto the same cycle, so the result may hold fewer than n
+// points — always at least one, strictly increasing, all distinct.
+// Callers that want n samples should log the shortfall (see measureAvg
+// and measureMatrix).
 func samplePoints(golden int64, n int) []int64 {
 	if n < 1 {
 		n = 1
 	}
-	pts := make([]int64, n)
+	pts := make([]int64, 0, n)
 	lo, hi := 0.15, 0.85
-	for i := range pts {
-		f := lo
+	for i := 0; i < n; i++ {
+		f := 0.5
 		if n > 1 {
 			f = lo + (hi-lo)*float64(i)/float64(n-1)
-		} else {
-			f = 0.5
 		}
-		pts[i] = int64(f * float64(golden))
+		pt := min(max(int64(f*float64(golden)), 1), max(golden, 1))
+		if len(pts) > 0 && pt <= pts[len(pts)-1] {
+			continue
+		}
+		pts = append(pts, pt)
 	}
 	return pts
 }
@@ -189,11 +262,18 @@ func samplePoints(golden int64, n int) []int64 {
 // path; the Runner's matrix fold shares foldEpisodes with it).
 func (o *Options) measureAvg(p *prepared, kind preempt.Kind) (EpisodeStats, error) {
 	pts := samplePoints(p.goldenCycles, o.Samples)
+	if len(pts) < o.Samples {
+		o.logf("%s/%v: golden run of %d cycles yields only %d distinct sample points (want %d)",
+			p.wl.Abbrev, kind, p.goldenCycles, len(pts), o.Samples)
+	}
 	eps := make([]episodeResult, len(pts))
 	for i, pt := range pts {
 		st, ok, err := o.measure(p, kind, pt)
 		eps[i] = episodeResult{st: st, ok: ok, err: err}
 		if err != nil {
+			// Truncate to the attempted prefix: the unattempted tail is
+			// zero-valued and must not reach the fold.
+			eps = eps[:i+1]
 			break
 		}
 	}

@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ctxback/internal/preempt"
+)
+
+// PhaseRow is one kernel's per-technique phase decomposition: Stats[kj]
+// is the sample-averaged episode under kinds[kj] as passed to
+// PhaseBreakdown.
+type PhaseRow struct {
+	Abbrev string
+	Stats  []EpisodeStats
+}
+
+// PhaseBreakdown measures (or reuses, via the matrix memoization) every
+// (kernel, kind) episode average and returns it as per-kernel rows for
+// the phase report. Called after MeasureDynamic on the same Runner with
+// the same kinds, it costs nothing: the matrix is already cached.
+func (r *Runner) PhaseBreakdown(kinds []preempt.Kind) ([]PhaseRow, error) {
+	avg, err := r.measureMatrix(kinds)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PhaseRow, len(r.prep))
+	for ki := range r.prep {
+		rows[ki] = PhaseRow{Abbrev: r.prep[ki].p.wl.Abbrev, Stats: avg[ki]}
+	}
+	return rows, nil
+}
+
+// RenderPhases formats the per-episode phase breakdown: one line per
+// (kernel, technique) with the four phases and the two headline
+// latencies they decompose. Per single episode the sums reconcile
+// exactly; these lines are sample averages, so each pair reconciles to
+// within integer-division rounding.
+func RenderPhases(kinds []preempt.Kind, rows []PhaseRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Episode phase breakdown (cycles, averaged over sample points)\n")
+	fmt.Fprintf(&b, "%-6s %-18s %9s %9s %9s %9s | %9s %9s\n",
+		"Kernel", "Technique", "drain", "save", "restore", "replay", "preempt", "resume")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 88))
+	for _, row := range rows {
+		for kj, k := range kinds {
+			st := row.Stats[kj]
+			fmt.Fprintf(&b, "%-6s %-18s %9d %9d %9d %9d | %9d %9d\n",
+				row.Abbrev, k.String(), st.DrainCycles, st.SaveCycles,
+				st.RestoreCycles, st.ReplayCycles, st.PreemptCycles, st.ResumeCycles)
+		}
+	}
+	return b.String()
+}

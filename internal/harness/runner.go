@@ -33,6 +33,14 @@ import (
 type Runner struct {
 	o    Options
 	prep []prepEntry // one slot per kernels.Registry() index
+
+	// Matrix memoization: measureMatrix results keyed by the kind list's
+	// string form. Episodes are deterministic, so a repeated sweep (e.g.
+	// Table I followed by the phase breakdown over the same kinds) reuses
+	// the measured matrix instead of re-simulating every episode. Only
+	// successful results are cached.
+	mmu    sync.Mutex
+	mcache map[string][][]EpisodeStats
 }
 
 type prepEntry struct {
@@ -43,7 +51,11 @@ type prepEntry struct {
 
 // NewRunner builds a Runner over the full kernel registry.
 func NewRunner(o Options) *Runner {
-	return &Runner{o: o, prep: make([]prepEntry, len(kernels.Registry()))}
+	return &Runner{
+		o:      o,
+		prep:   make([]prepEntry, len(kernels.Registry())),
+		mcache: make(map[string][][]EpisodeStats),
+	}
 }
 
 // Options returns the configuration the Runner was built with.
@@ -145,6 +157,10 @@ func foldEpisodes(abbrev string, kind preempt.Kind, eps []episodeResult) (Episod
 		sum.ResumeCycles += e.st.ResumeCycles
 		sum.SavedBytes += e.st.SavedBytes
 		sum.Victims += e.st.Victims
+		sum.DrainCycles += e.st.DrainCycles
+		sum.SaveCycles += e.st.SaveCycles
+		sum.RestoreCycles += e.st.RestoreCycles
+		sum.ReplayCycles += e.st.ReplayCycles
 		count++
 	}
 	if count == 0 {
@@ -154,6 +170,10 @@ func foldEpisodes(abbrev string, kind preempt.Kind, eps []episodeResult) (Episod
 	sum.ResumeCycles /= int64(count)
 	sum.SavedBytes /= int64(count)
 	sum.Victims /= count
+	sum.DrainCycles /= int64(count)
+	sum.SaveCycles /= int64(count)
+	sum.RestoreCycles /= int64(count)
+	sum.ReplayCycles /= int64(count)
 	return sum, nil
 }
 
@@ -163,6 +183,13 @@ func foldEpisodes(abbrev string, kind preempt.Kind, eps []episodeResult) (Episod
 // errors are reported in the serial path's order: cells in (kernel,
 // kind) order, samples in index order within a cell.
 func (r *Runner) measureMatrix(kinds []preempt.Kind) (avg [][]EpisodeStats, err error) {
+	key := fmt.Sprint(kinds)
+	r.mmu.Lock()
+	cached, hit := r.mcache[key]
+	r.mmu.Unlock()
+	if hit {
+		return cached, nil
+	}
 	if err := r.prepareAll(); err != nil {
 		return nil, err
 	}
@@ -172,14 +199,29 @@ func (r *Runner) measureMatrix(kinds []preempt.Kind) (avg [][]EpisodeStats, err 
 	if ns < 1 {
 		ns = 1 // samplePoints clamps the same way
 	}
+	// Sample points are fixed per kernel; compute (and log shortfalls)
+	// once here rather than per job. A short golden run can yield fewer
+	// than ns distinct points — the missing slots stay zero-valued
+	// (ok=false) and the fold skips them.
+	ptsByKernel := make([][]int64, nk)
+	for ki := range ptsByKernel {
+		p := r.prep[ki].p
+		ptsByKernel[ki] = samplePoints(p.goldenCycles, r.o.Samples)
+		if got := len(ptsByKernel[ki]); got < ns {
+			r.o.logf("%s: golden run of %d cycles yields only %d distinct sample points (want %d)",
+				p.wl.Abbrev, p.goldenCycles, got, ns)
+		}
+	}
 	results := make([]episodeResult, nk*nt*ns)
 	r.runJobs(len(results), func(f int) error {
 		ki := f / (nt * ns)
 		kj := (f / ns) % nt
 		si := f % ns
-		p := r.prep[ki].p
-		pts := samplePoints(p.goldenCycles, r.o.Samples)
-		st, ok, err := r.o.measure(p, kinds[kj], pts[si])
+		pts := ptsByKernel[ki]
+		if si >= len(pts) {
+			return nil // collapsed sample point; the fold skips this slot
+		}
+		st, ok, err := r.o.measure(r.prep[ki].p, kinds[kj], pts[si])
 		results[f] = episodeResult{st: st, ok: ok, err: err}
 		return nil // errors surface via foldEpisodes, in serial order
 	})
@@ -195,5 +237,8 @@ func (r *Runner) measureMatrix(kinds []preempt.Kind) (avg [][]EpisodeStats, err 
 			avg[ki][kj] = st
 		}
 	}
+	r.mmu.Lock()
+	r.mcache[key] = avg
+	r.mmu.Unlock()
 	return avg, nil
 }

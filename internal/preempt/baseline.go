@@ -4,6 +4,7 @@ import (
 	"ctxback/internal/isa"
 	"ctxback/internal/liveness"
 	"ctxback/internal/sim"
+	"ctxback/internal/trace"
 )
 
 // baselineTech models the Linux AMDGPU driver context-switch routine: it
@@ -25,6 +26,8 @@ func NewBaseline(prog *isa.Program) (Technique, error) {
 
 func (t *baselineTech) Kind() Kind   { return Baseline }
 func (t *baselineTech) Name() string { return Baseline.String() }
+
+func (t *baselineTech) PhaseNames() trace.PhaseNames { return trace.DefaultPhaseNames() }
 
 func (t *baselineTech) PreemptRoutine(w *sim.Warp) []isa.Instruction {
 	return finishPreempt(w, saveSet(t.all), w.PC)
@@ -62,6 +65,8 @@ func NewLive(prog *isa.Program) (Technique, error) {
 
 func (t *liveTech) Kind() Kind   { return Live }
 func (t *liveTech) Name() string { return Live.String() }
+
+func (t *liveTech) PhaseNames() trace.PhaseNames { return trace.DefaultPhaseNames() }
 
 // contextAt is the live register context plus EXEC (the hardware always
 // needs a correct mask to resume).

@@ -3,6 +3,7 @@ package preempt
 import (
 	"ctxback/internal/isa"
 	"ctxback/internal/sim"
+	"ctxback/internal/trace"
 )
 
 // DefaultCkptInterval is the paper's checkpoint interval: every 16th
@@ -97,6 +98,13 @@ func ckptStaticFor(prog *isa.Program, interval int) (*ckptStatic, error) {
 
 func (t *ckptTech) Kind() Kind   { return Ckpt }
 func (t *ckptTech) Name() string { return Ckpt.String() }
+
+// PhaseNames: CKPT drops warps at the signal (nothing drains) and only
+// falls back to a full save when no checkpoint exists yet; resume
+// re-executes from the last checkpoint to the signal point.
+func (t *ckptTech) PhaseNames() trace.PhaseNames {
+	return trace.PhaseNames{Drain: "drain", Save: "fallback-save", Restore: "restore", Replay: "re-execute"}
+}
 
 // snapshotRegs is the context captured at pc.
 func (t *ckptTech) snapshotRegs(pc int) isa.RegSet {

@@ -5,6 +5,7 @@ import (
 	"ctxback/internal/isa"
 	"ctxback/internal/liveness"
 	"ctxback/internal/sim"
+	"ctxback/internal/trace"
 )
 
 // csdeferTech implements CS-Defer [4]: on a preemption signal at P, the
@@ -49,6 +50,12 @@ func deferTarget(prog *isa.Program, g *cfg.Graph, live *liveness.Info, pc int) i
 
 func (t *csdeferTech) Kind() Kind   { return CSDefer }
 func (t *csdeferTech) Name() string { return CSDefer.String() }
+
+// PhaseNames: the pre-save phase is the deliberate deferral to a
+// small-context point, not a plain drain.
+func (t *csdeferTech) PhaseNames() trace.PhaseNames {
+	return trace.PhaseNames{Drain: "defer", Save: "save", Restore: "restore", Replay: "replay"}
+}
 
 func (t *csdeferTech) contextAt(pc int) isa.RegSet {
 	regs := t.live.Context(pc)

@@ -6,6 +6,7 @@ import (
 	"ctxback/internal/core"
 	"ctxback/internal/isa"
 	"ctxback/internal/sim"
+	"ctxback/internal/trace"
 )
 
 // ctxbackTech wires the core CTXBack pass into the simulator: dedicated
@@ -71,6 +72,12 @@ func (t *ctxbackTech) Compiled() *core.Compiled { return t.compiled }
 
 func (t *ctxbackTech) Kind() Kind   { return CTXBack }
 func (t *ctxbackTech) Name() string { return CTXBack.String() }
+
+// PhaseNames: CTXBack's replay is the context flashback — regenerating
+// unsaved registers from the OSRB backups.
+func (t *ctxbackTech) PhaseNames() trace.PhaseNames {
+	return trace.PhaseNames{Drain: "drain", Save: "save", Restore: "restore", Replay: "flashback"}
+}
 
 func (t *ctxbackTech) PreemptRoutine(w *sim.Warp) []isa.Instruction {
 	return finishPreempt(w, t.compiled.PreemptRoutines[w.PC], w.PC)
@@ -150,6 +157,12 @@ func NewCombined(prog *isa.Program) (Technique, error) {
 
 func (t *combinedTech) Kind() Kind   { return Combined }
 func (t *combinedTech) Name() string { return Combined.String() }
+
+// PhaseNames: the combination defers like CS-Defer and flashes back like
+// CTXBack, depending on the signal PC.
+func (t *combinedTech) PhaseNames() trace.PhaseNames {
+	return trace.PhaseNames{Drain: "defer", Save: "save", Restore: "restore", Replay: "flashback"}
+}
 
 func (t *combinedTech) pick(pc int) Technique {
 	if t.useCTX[pc] {

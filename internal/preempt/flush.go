@@ -5,6 +5,7 @@ import (
 
 	"ctxback/internal/isa"
 	"ctxback/internal/sim"
+	"ctxback/internal/trace"
 )
 
 // flushTech implements SM-flushing (Park et al., Chimera [11]; paper
@@ -70,6 +71,12 @@ func newFlushTech(prog *isa.Program) (*flushTech, error) {
 
 func (t *flushTech) Kind() Kind   { return SMFlush }
 func (t *flushTech) Name() string { return SMFlush.String() }
+
+// PhaseNames: flushing saves nothing (warps are dropped) and resume
+// restarts the kernel from its first instruction.
+func (t *flushTech) PhaseNames() trace.PhaseNames {
+	return trace.PhaseNames{Drain: "drain", Save: "drop", Restore: "restore", Replay: "restart"}
+}
 
 // Flushable reports whether the kernel satisfies the (whole-kernel)
 // idempotence condition SM-flushing needs.
@@ -165,6 +172,13 @@ func NewChimera(prog *isa.Program) (Technique, error) {
 
 func (t *chimeraTech) Kind() Kind   { return Chimera }
 func (t *chimeraTech) Name() string { return Chimera.String() }
+
+// PhaseNames: per warp Chimera either drops (flush) or switches (ctx), so
+// the episode-level phases keep the flush-flavored labels for the mixed
+// case.
+func (t *chimeraTech) PhaseNames() trace.PhaseNames {
+	return trace.PhaseNames{Drain: "drain", Save: "drop-or-save", Restore: "restore", Replay: "restart"}
+}
 
 // useFlush: flushing inside a mixed-mode episode is only sound for
 // LDS-free kernels — a context-switched warp restores only its own LDS

@@ -1,0 +1,38 @@
+package preempt
+
+import (
+	"testing"
+
+	"ctxback/internal/kernels"
+	"ctxback/internal/sim"
+)
+
+// TestEveryTechniqueNamesItsPhases pins the PhaseNamer contract: each of
+// the eight techniques labels all four canonical phases, so traces never
+// fall back to the neutral defaults and never carry empty span names.
+func TestEveryTechniqueNamesItsPhases(t *testing.T) {
+	wl, err := kernels.ByAbbrev("VA", kernels.TestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range ExtendedKinds() {
+		tech, err := New(kind, wl.Prog)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		pn, ok := tech.(sim.PhaseNamer)
+		if !ok {
+			t.Errorf("%v does not implement sim.PhaseNamer", kind)
+			continue
+		}
+		names := pn.PhaseNames()
+		for phase, name := range map[string]string{
+			"Drain": names.Drain, "Save": names.Save,
+			"Restore": names.Restore, "Replay": names.Replay,
+		} {
+			if name == "" {
+				t.Errorf("%v: empty %s phase name", kind, phase)
+			}
+		}
+	}
+}

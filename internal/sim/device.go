@@ -6,6 +6,7 @@ import (
 
 	"ctxback/internal/faults"
 	"ctxback/internal/isa"
+	"ctxback/internal/trace"
 )
 
 // Runtime is the hook a preemption technique implements to drive context
@@ -39,6 +40,7 @@ type Device struct {
 	launches []*Launch
 	rt       Runtime // attached technique (Hook instrumentation)
 	tracer   *Tracer
+	rec      *trace.Recorder // structured-event recorder (nil: tracing off)
 	Stats    DeviceStats
 
 	// faults is the attached fault injector (nil: every fault path is
@@ -77,6 +79,17 @@ func NewDevice(cfg Config) (*Device, error) {
 // Now returns the current simulated cycle.
 func (d *Device) Now() int64 { return d.now }
 
+// AttachRecorder installs a structured-event recorder; episode, warp and
+// memory-pipeline events are emitted into it with simulated-cycle
+// timestamps. nil detaches. Recording is observation only — it never
+// alters simulated timing, so traced and untraced runs produce identical
+// results.
+func (d *Device) AttachRecorder(r *trace.Recorder) { d.rec = r }
+
+// Recorder returns the attached structured-event recorder (nil when
+// tracing is off).
+func (d *Device) Recorder() *trace.Recorder { return d.rec }
+
 // Micros returns the current simulated time in microseconds.
 func (d *Device) Micros() float64 { return d.Cfg.CyclesToMicros(d.now) }
 
@@ -114,7 +127,16 @@ func (d *Device) accessGlobal(start int64, bytes int, ctxPath, isLoad bool) int6
 	s := max(start, d.memFree, d.ctxFree)
 	d.memFree = s + busDur
 	d.ctxFree = s + ctxDur
-	return s + max(busDur, ctxDur) + int64(d.Cfg.MemLatency)
+	complete := s + max(busDur, ctxDur) + int64(d.Cfg.MemLatency)
+	if d.rec != nil {
+		name := "ctx-save"
+		if isLoad {
+			name = "ctx-restore"
+		}
+		d.rec.Emit(trace.Event{Name: name, Cat: trace.CatMem, Ph: trace.PhComplete,
+			Cycle: s, Dur: complete - s, SM: -1, Warp: -1, Bytes: int64(bytes)})
+	}
+	return complete
 }
 
 // Occupancy describes how many blocks/warps of a kernel fit on one SM.

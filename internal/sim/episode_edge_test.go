@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -169,8 +170,8 @@ func TestPreemptAfterAllWarpsDone(t *testing.T) {
 	}
 	if _, err := d.Preempt(0, naiveRuntime{}); err == nil {
 		t.Error("preempting an SM whose warps all finished must error")
-	} else if !strings.Contains(err.Error(), "no running warps") {
-		t.Errorf("unexpected error: %v", err)
+	} else if !errors.Is(err, ErrDrained) {
+		t.Errorf("drained SM must return ErrDrained, got: %v", err)
 	}
 }
 

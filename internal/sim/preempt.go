@@ -1,8 +1,25 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
+
+	"ctxback/internal/trace"
 )
+
+// ErrDrained marks a preemption request against an SM with no running
+// kernel warps: there is nothing to save, the SM is already free. It is
+// an expected outcome near the end of a kernel, not a failure — callers
+// discriminate it from real errors with errors.Is.
+var ErrDrained = errors.New("no running kernel warps to preempt (drained)")
+
+// PhaseNamer is optionally implemented by a Runtime to give
+// technique-flavored names to the four canonical episode phases (e.g.
+// CTXBack's replay phase is a flashback). Runtimes that do not implement
+// it get trace.DefaultPhaseNames.
+type PhaseNamer interface {
+	PhaseNames() trace.PhaseNames
+}
 
 // Episode is one preemption of an SM: every kernel-mode warp resident on
 // the SM saves its context through the attached technique and releases
@@ -28,7 +45,50 @@ type Episode struct {
 
 	savedCount   int
 	resumedCount int
+
+	// Phase bookkeeping: the cycle the LAST victim entered its
+	// preemption routine, and the cycle the LAST victim's CtxResume
+	// retired. Maintained unconditionally (two compares per warp per
+	// episode) so EpisodeStats can break latencies into phases even when
+	// no recorder is attached.
+	enterLast   int64
+	restoreLast int64
+
+	tech  string
+	names trace.PhaseNames
 }
+
+// Phases is the decomposition of an episode's two latencies into the
+// four canonical phases. By construction Drain+Save ==
+// PreemptLatencyCycles and Restore+Replay == ResumeCycles, exactly.
+type Phases struct {
+	Drain   int64 // signal raised → last victim entered its routine
+	Save    int64 // → SM fully released (all context stores landed)
+	Restore int64 // resume start → last context fully restored
+	Replay  int64 // → logical progress regained on every victim
+}
+
+// Phases returns the episode's phase breakdown. The boundary cycles are
+// clamped into their enclosing intervals (a victim's replay instruction
+// can retire before an unrelated outstanding restore load lands), which
+// guarantees the sums reconcile exactly with the headline latencies.
+func (ep *Episode) Phases() Phases {
+	enter := min(max(ep.enterLast, ep.SignalCycle), ep.AllSavedCycle)
+	restore := min(max(ep.restoreLast, ep.ResumeStart), ep.AllResumed)
+	return Phases{
+		Drain:   enter - ep.SignalCycle,
+		Save:    ep.AllSavedCycle - enter,
+		Restore: restore - ep.ResumeStart,
+		Replay:  ep.AllResumed - restore,
+	}
+}
+
+// Technique returns the name of the runtime driving this episode.
+func (ep *Episode) Technique() string { return ep.tech }
+
+// PhaseNames returns the technique-flavored labels for this episode's
+// phases.
+func (ep *Episode) PhaseNames() trace.PhaseNames { return ep.names }
 
 // AttachRuntime installs the preemption technique runtime whose Hook
 // instrumentation (checkpoints, OSRB copies) should run during normal
@@ -66,7 +126,16 @@ func (d *Device) Preempt(smID int, rt Runtime) (*Episode, error) {
 		ep.Victims = append(ep.Victims, w)
 	}
 	if len(ep.Victims) == 0 {
-		return nil, fmt.Errorf("sim: SM %d has no running warps to preempt", smID)
+		return nil, fmt.Errorf("sim: SM %d: %w", smID, ErrDrained)
+	}
+	ep.tech = rt.Name()
+	ep.names = trace.DefaultPhaseNames()
+	if pn, ok := rt.(PhaseNamer); ok {
+		ep.names = pn.PhaseNames()
+	}
+	if d.rec != nil {
+		d.rec.Emit(trace.Event{Name: "preempt-signal", Cat: trace.CatEpisode, Ph: trace.PhInstant,
+			Cycle: d.now, SM: smID, Warp: -1, Tech: ep.tech})
 	}
 	sm.episode = ep
 	sm.offline = true
@@ -96,10 +165,14 @@ func (sm *SM) beginPreempt(w *Warp, t int64) {
 	ep := sm.episode
 	rec := &PreemptRecord{
 		SignalCycle: ep.SignalCycle,
+		EnterCycle:  t,
 		DynAtSignal: w.DynCount,
 		PCAtSignal:  w.PC,
 	}
 	w.preemptRec = rec
+	if t > ep.enterLast {
+		ep.enterLast = t
+	}
 	if d := sm.Dev; d.faults != nil || d.resumeChecker != nil {
 		// Capture the signal-point architectural state for the
 		// resume-integrity oracle before any routine instruction runs.
@@ -133,6 +206,12 @@ func (ep *Episode) onWarpSaved(w *Warp, cycle int64) {
 	if cycle > ep.AllSavedCycle {
 		ep.AllSavedCycle = cycle
 	}
+	if r := ep.SM.Dev.rec; r != nil {
+		rec := w.preemptRec
+		r.Emit(trace.Event{Name: ep.names.Save, Cat: trace.CatWarp, Ph: trace.PhComplete,
+			Cycle: rec.EnterCycle, Dur: cycle - rec.EnterCycle, SM: ep.SM.ID, Warp: w.ID,
+			Tech: ep.tech, Bytes: rec.SavedBytes})
+	}
 	if ep.savedCount == len(ep.Victims) {
 		// All context saved: resources are released; poison the LDS of
 		// victim blocks so un-restored state cannot leak through resume.
@@ -145,6 +224,29 @@ func (ep *Episode) onWarpSaved(w *Warp, cycle int64) {
 				b.Data[i] = 0xDEADBEEF
 			}
 		}
+		if r := ep.SM.Dev.rec; r != nil {
+			ph := ep.Phases()
+			r.Emit(trace.Event{Name: ep.names.Drain, Cat: trace.CatEpisode, Ph: trace.PhComplete,
+				Cycle: ep.SignalCycle, Dur: ph.Drain, SM: ep.SM.ID, Warp: -1, Tech: ep.tech})
+			r.Emit(trace.Event{Name: ep.names.Save, Cat: trace.CatEpisode, Ph: trace.PhComplete,
+				Cycle: ep.SignalCycle + ph.Drain, Dur: ph.Save, SM: ep.SM.ID, Warp: -1,
+				Tech: ep.tech, Bytes: ep.SavedBytes()})
+		}
+	}
+}
+
+// onWarpRestored marks w's context fully re-materialized (CtxResume
+// retired with every restore load landed). Replay — if the technique
+// needs any — runs after this point.
+func (ep *Episode) onWarpRestored(w *Warp, cycle int64) {
+	if cycle > ep.restoreLast {
+		ep.restoreLast = cycle
+	}
+	if r := ep.SM.Dev.rec; r != nil {
+		rec := w.preemptRec
+		r.Emit(trace.Event{Name: ep.names.Restore, Cat: trace.CatWarp, Ph: trace.PhComplete,
+			Cycle: rec.ResumeStart, Dur: cycle - rec.ResumeStart, SM: ep.SM.ID, Warp: w.ID,
+			Tech: ep.tech, Bytes: rec.RestoredBytes})
 	}
 }
 
@@ -153,7 +255,22 @@ func (ep *Episode) onWarpResumed(w *Warp, cycle int64) {
 	if cycle > ep.AllResumed {
 		ep.AllResumed = cycle
 	}
+	if r := ep.SM.Dev.rec; r != nil {
+		if rec := w.preemptRec; rec.RestoreDone > 0 && cycle > rec.RestoreDone {
+			r.Emit(trace.Event{Name: ep.names.Replay, Cat: trace.CatWarp, Ph: trace.PhComplete,
+				Cycle: rec.RestoreDone, Dur: cycle - rec.RestoreDone, SM: ep.SM.ID, Warp: w.ID,
+				Tech: ep.tech})
+		}
+	}
 	if ep.resumedCount == len(ep.Victims) {
+		if r := ep.SM.Dev.rec; r != nil {
+			ph := ep.Phases()
+			r.Emit(trace.Event{Name: ep.names.Restore, Cat: trace.CatEpisode, Ph: trace.PhComplete,
+				Cycle: ep.ResumeStart, Dur: ph.Restore, SM: ep.SM.ID, Warp: -1, Tech: ep.tech})
+			r.Emit(trace.Event{Name: ep.names.Replay, Cat: trace.CatEpisode, Ph: trace.PhComplete,
+				Cycle: ep.ResumeStart + ph.Restore, Dur: ph.Replay, SM: ep.SM.ID, Warp: -1,
+				Tech: ep.tech})
+		}
 		ep.SM.offline = false
 		ep.SM.episode = nil
 		ep.SM.Dev.redispatch()
@@ -207,6 +324,10 @@ func (d *Device) Resume(ep *Episode) error {
 	// free at AllSavedCycle. Resuming cannot begin earlier.
 	start := max(d.now, ep.AllSavedCycle)
 	ep.ResumeStart = start
+	if d.rec != nil {
+		d.rec.Emit(trace.Event{Name: "resume-start", Cat: trace.CatEpisode, Ph: trace.PhInstant,
+			Cycle: start, SM: ep.SM.ID, Warp: -1, Tech: ep.tech})
+	}
 	// Fault injection on the swapped-out contexts happens at the last
 	// moment before they are consumed: corruption models device-memory
 	// bit flips accumulated while the warp was preempted, and the

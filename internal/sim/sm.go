@@ -225,6 +225,10 @@ func (sm *SM) issue(w *Warp, t int64) error {
 		// The state is only restored once every outstanding restore load
 		// has landed.
 		restored := max(done, w.lastStoreDone, w.regReady.maxAll())
+		if rec := w.preemptRec; rec != nil {
+			rec.RestoreDone = restored
+			sm.episode.onWarpRestored(w, restored)
+		}
 		if rec := w.preemptRec; rec != nil && rec.ResumeComplete == 0 && w.DynCount >= rec.DynAtSignal {
 			rec.ResumeComplete = restored
 			sm.episode.onWarpResumed(w, rec.ResumeComplete)

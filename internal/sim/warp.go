@@ -152,6 +152,8 @@ func NewSavedContext() *SavedContext {
 // PreemptRecord tracks one warp's preemption episode for measurement.
 type PreemptRecord struct {
 	SignalCycle    int64
+	EnterCycle     int64 // warp entered its preemption routine
+	RestoreDone    int64 // CtxResume retired with all restore loads landed
 	SavedCycle     int64 // CtxExit retired: SM resources released
 	ResumeStart    int64
 	ResumeComplete int64 // logical progress back at the signal point

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON format
+// (chrome://tracing, also readable by Perfetto). Timestamps are
+// nominally microseconds; we emit simulated cycles one-to-one, which
+// just rescales the timeline.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// chromeMemPID is the synthetic process id grouping memory-pipeline
+// events; SM-scoped events use pid = SM id.
+const chromeMemPID = 9999
+
+// WriteChromeTrace serializes events (as returned by Recorder.Events,
+// i.e. cycle-sorted) into Chrome trace-event JSON. Load the file via
+// chrome://tracing ("Load") or https://ui.perfetto.dev. One trace
+// process per SM, one thread per warp; ts/dur are simulated cycles.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := chromeFile{
+		TraceEvents:     make([]chromeEvent, 0, len(events)),
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{"timestampUnit": "simulated GPU cycles"},
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  string(ev.Cat),
+			Ph:   string(rune(ev.Ph)),
+			TS:   ev.Cycle,
+			PID:  ev.SM,
+			TID:  ev.Warp,
+		}
+		if ev.SM < 0 {
+			ce.PID = chromeMemPID
+		}
+		if ev.Warp < 0 {
+			ce.TID = 0
+		}
+		if ev.Ph == PhComplete {
+			dur := ev.Dur
+			ce.Dur = &dur
+		}
+		if ev.Ph == PhInstant {
+			ce.S = "p" // process-scoped instant: draws across the SM's track
+		}
+		args := map[string]any{}
+		if ev.Tech != "" {
+			args["technique"] = ev.Tech
+		}
+		if ev.Bytes != 0 {
+			args["bytes"] = ev.Bytes
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ValidateChromeTrace parses data as Chrome trace-event JSON and checks
+// the invariants the exporter guarantees: every event has a known phase
+// letter, a non-negative timestamp, complete events carry non-negative
+// durations, and timestamps are cycle-monotone (non-decreasing) in file
+// order. Returns the number of events on success.
+func ValidateChromeTrace(data []byte) (int, error) {
+	var f chromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, fmt.Errorf("trace: invalid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return 0, fmt.Errorf("trace: no traceEvents")
+	}
+	prev := int64(-1)
+	for i, ev := range f.TraceEvents {
+		if ev.Ph != string(rune(PhComplete)) && ev.Ph != string(rune(PhInstant)) {
+			return 0, fmt.Errorf("trace: event %d (%q): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.TS < 0 {
+			return 0, fmt.Errorf("trace: event %d (%q): negative timestamp %d", i, ev.Name, ev.TS)
+		}
+		if ev.Ph == string(rune(PhComplete)) {
+			if ev.Dur == nil {
+				return 0, fmt.Errorf("trace: event %d (%q): complete event without dur", i, ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return 0, fmt.Errorf("trace: event %d (%q): negative duration %d", i, ev.Name, *ev.Dur)
+			}
+		}
+		if ev.TS < prev {
+			return 0, fmt.Errorf("trace: event %d (%q): timestamp %d before predecessor %d — not cycle-monotone",
+				i, ev.Name, ev.TS, prev)
+		}
+		prev = ev.TS
+	}
+	return len(f.TraceEvents), nil
+}

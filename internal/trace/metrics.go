@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically growing int64 metric. Increments are
+// atomic, so deterministic simulations driven by a worker pool produce
+// the same totals at every worker count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// DefaultCycleBuckets are the fixed latency buckets (in cycles) used for
+// episode phase histograms. The spacing is roughly logarithmic and spans
+// the sub-100-cycle drains up to the multi-100k-cycle full-SM BASELINE
+// switches.
+var DefaultCycleBuckets = []int64{
+	100, 200, 500,
+	1_000, 2_000, 5_000,
+	10_000, 20_000, 50_000,
+	100_000, 200_000, 500_000,
+}
+
+// Histogram is a fixed-bucket latency histogram. Bucket bounds are
+// upper-inclusive; observations above the last bound land in an overflow
+// bucket. Bounds are fixed at creation and never change.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Bucket returns the count of observations in bucket i (the overflow
+// bucket is index len(bounds)).
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i].Load() }
+
+// Registry is a named collection of counters and histograms. Metrics
+// are created on first use and shared by name afterwards.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket bounds on first use (later callers share the
+// first creation's buckets).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Render formats the registry as a deterministic text report: counters
+// then histograms, both name-sorted; histogram bucket lines list only
+// occupied buckets so untouched tails do not pad the report.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	cnames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		cnames = append(cnames, n)
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		hnames = append(hnames, n)
+	}
+	r.mu.Unlock()
+	sort.Strings(cnames)
+	sort.Strings(hnames)
+
+	var b strings.Builder
+	b.WriteString("Metrics\n")
+	for _, n := range cnames {
+		fmt.Fprintf(&b, "  %-36s %12d\n", n, r.Counter(n).Value())
+	}
+	for _, n := range hnames {
+		h := r.hists[n]
+		count, sum := h.Count(), h.Sum()
+		mean := float64(0)
+		if count > 0 {
+			mean = float64(sum) / float64(count)
+		}
+		fmt.Fprintf(&b, "  %-36s count=%d sum=%d mean=%.1f\n", n, count, sum, mean)
+		for i := range h.counts {
+			c := h.Bucket(i)
+			if c == 0 {
+				continue
+			}
+			switch {
+			case i < len(h.bounds):
+				fmt.Fprintf(&b, "    <= %-10d %12d\n", h.bounds[i], c)
+			case len(h.bounds) > 0:
+				fmt.Fprintf(&b, "    >  %-10d %12d\n", h.bounds[len(h.bounds)-1], c)
+			default:
+				fmt.Fprintf(&b, "    all%-10s %12d\n", "", c)
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSharedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("episodes").Add(2)
+	r.Counter("episodes").Add(3)
+	if got := r.Counter("episodes").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 5122 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	want := []int64{2, 2, 0, 1} // <=10: {1,10}; <=100: {11,100}; <=1000: none; overflow: {5000}
+	for i, w := range want {
+		if got := h.Bucket(i); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	// Same name returns the same histogram regardless of bounds passed.
+	if r.Histogram("lat", nil) != h {
+		t.Error("histogram not shared by name")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram(DefaultCycleBuckets)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestRegistryRenderDeterministic(t *testing.T) {
+	mk := func() *Registry {
+		r := NewRegistry()
+		r.Counter("z.last").Add(7)
+		r.Counter("a.first").Add(1)
+		h := r.Histogram("episode.preempt_cycles", DefaultCycleBuckets)
+		h.Observe(50)
+		h.Observe(150_000)
+		h.Observe(9_999_999)
+		return r
+	}
+	a, b := mk().Render(), mk().Render()
+	if a != b {
+		t.Fatal("render not deterministic")
+	}
+	for _, want := range []string{"a.first", "z.last", "count=3", "<= 100", "<= 200000", ">  500000"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("render missing %q:\n%s", want, a)
+		}
+	}
+	if strings.Index(a, "a.first") > strings.Index(a, "z.last") {
+		t.Error("counters not name-sorted")
+	}
+}

@@ -1,0 +1,100 @@
+// Package trace is the structured observability layer of the
+// reproduction: cycle-timestamped events for preemption episodes, warps
+// and the memory pipeline, plus a metrics registry of counters and
+// fixed-bucket latency histograms.
+//
+// The layer is strictly opt-in and zero-overhead when disabled: the
+// simulator emits events only behind a nil check on an attached
+// Recorder, nothing in this package is touched on the default path, and
+// recording never alters simulated timing — an evaluation with tracing
+// off is byte-identical to one that never linked this package.
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Category classifies an event's scope.
+type Category string
+
+const (
+	// CatEpisode marks device-level episode milestones and phase spans
+	// (signal, drain, save, restore, replay).
+	CatEpisode Category = "episode"
+	// CatWarp marks per-warp phase spans within an episode.
+	CatWarp Category = "warp"
+	// CatMem marks context-path memory-pipeline transactions.
+	CatMem Category = "mem"
+)
+
+// Chrome-trace phase letters (the subset the exporter uses).
+const (
+	PhComplete = 'X' // a span with a start cycle and a duration
+	PhInstant  = 'i' // a point event
+)
+
+// Event is one structured trace record. Cycle timestamps are simulated
+// device cycles, not wall time.
+type Event struct {
+	Name  string   // phase or milestone name (technique-flavored)
+	Cat   Category // episode | warp | mem
+	Ph    byte     // PhComplete or PhInstant
+	Cycle int64    // start cycle
+	Dur   int64    // duration in cycles (0 for instants)
+	SM    int      // owning SM, -1 when device-scoped (mem events)
+	Warp  int      // warp id, -1 when not warp-scoped
+	Tech  string   // preemption technique name, "" when not applicable
+	Bytes int64    // payload bytes (context traffic), 0 otherwise
+}
+
+// Recorder collects events. It is safe for concurrent emitters (the
+// parallel harness may drive several SMs of one device from one clock).
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit appends one event.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events sorted by start cycle
+// (stable, so same-cycle events keep emission order). The exporter and
+// the cycle-monotonicity validator both consume this order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cycle < out[j].Cycle })
+	return out
+}
+
+// PhaseNames are the technique-specific labels for the four canonical
+// episode phases. Every episode decomposes into drain (signal observed →
+// last victim entered its routine), save (→ SM released), restore
+// (resume start → last context restored) and replay (→ logical progress
+// regained); techniques rename the phases they specialize (CTXBack's
+// replay is a flashback, CKPT's save is a fallback, SM-flushing's
+// replay is a restart).
+type PhaseNames struct {
+	Drain, Save, Restore, Replay string
+}
+
+// DefaultPhaseNames are the technique-neutral labels.
+func DefaultPhaseNames() PhaseNames {
+	return PhaseNames{Drain: "drain", Save: "save", Restore: "restore", Replay: "replay"}
+}

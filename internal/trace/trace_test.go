@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecorderSortsByCycleStable(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Name: "b", Cycle: 30, Ph: PhInstant})
+	r.Emit(Event{Name: "a", Cycle: 10, Ph: PhInstant})
+	r.Emit(Event{Name: "c1", Cycle: 20, Ph: PhInstant})
+	r.Emit(Event{Name: "c2", Cycle: 20, Ph: PhInstant})
+	evs := r.Events()
+	if len(evs) != 4 || r.Len() != 4 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	var names []string
+	for i, ev := range evs {
+		names = append(names, ev.Name)
+		if i > 0 && ev.Cycle < evs[i-1].Cycle {
+			t.Fatalf("events not cycle-sorted: %+v", evs)
+		}
+	}
+	// Same-cycle events keep emission order (stable sort).
+	if got := strings.Join(names, ","); got != "a,c1,c2,b" {
+		t.Errorf("order = %s", got)
+	}
+}
+
+func TestRecorderConcurrentEmit(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(Event{Name: "e", Cycle: int64(i), SM: g})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("lost events: %d", r.Len())
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Emit(Event{Name: "preempt-signal", Cat: CatEpisode, Ph: PhInstant, Cycle: 5, SM: 0, Warp: -1, Tech: "BASELINE"})
+	r.Emit(Event{Name: "save", Cat: CatWarp, Ph: PhComplete, Cycle: 6, Dur: 40, SM: 0, Warp: 2, Tech: "BASELINE", Bytes: 512})
+	r.Emit(Event{Name: "ctx-xfer", Cat: CatMem, Ph: PhComplete, Cycle: 7, Dur: 12, SM: -1, Warp: -1, Bytes: 128})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChromeTrace(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("validated %d events, want 3", n)
+	}
+	out := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"technique": "BASELINE"`, `"bytes": 512`, `"ph": "X"`, `"ph": "i"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome JSON missing %s", want)
+		}
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{`,
+		"no events":    `{"traceEvents":[]}`,
+		"bad phase":    `{"traceEvents":[{"name":"x","ph":"Q","ts":1}]}`,
+		"negative ts":  `{"traceEvents":[{"name":"x","ph":"i","ts":-1}]}`,
+		"missing dur":  `{"traceEvents":[{"name":"x","ph":"X","ts":1}]}`,
+		"negative dur": `{"traceEvents":[{"name":"x","ph":"X","ts":1,"dur":-2}]}`,
+		"non-monotone": `{"traceEvents":[{"name":"x","ph":"i","ts":9},{"name":"y","ph":"i","ts":3}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ValidateChromeTrace([]byte(data)); err == nil {
+			t.Errorf("%s: validation unexpectedly passed", name)
+		}
+	}
+}

@@ -112,6 +112,16 @@ go run ./cmd/benchtab -contention KM      # multi-SM switch serialization
 go test -bench=. -benchmem                # the same experiments as benchmarks
 ```
 
+To see *where* each technique's latency goes, add `-metrics`: it appends
+episode counters, fixed-bucket latency histograms, and a per-(kernel,
+technique) drain/save/restore/replay phase table whose per-episode sums
+reconcile exactly with the preempt/resume columns above (DESIGN.md §6).
+For one episode's full timeline, `go run ./cmd/gpusim -kernel KM
+-technique CTXBack -trace km.trace.json` writes Chrome trace-event JSON
+(validate with `go run ./cmd/tracecheck km.trace.json`; view in
+chrome://tracing). All of this is opt-in — with tracing off, this file's
+raw output is byte-identical, which CI enforces (`make evalcheck`).
+
 Episodes are distributed over a worker pool (`-procs`, default
 `GOMAXPROCS`); the fold back into tables is order-fixed, so every
 `-procs` value — including the serial `-procs 1` path — prints
