@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench eval trace-smoke evalcheck
+.PHONY: all build test check bench eval trace-smoke evalcheck sched-smoke
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # tracing pipeline end to end.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/harness/ ./internal/sim/ ./internal/trace/
+	$(GO) test -race ./internal/harness/ ./internal/sched/ ./internal/sim/ ./internal/trace/
 	$(MAKE) trace-smoke
 
 # trace-smoke runs one preempted kernel with -trace and validates the
@@ -25,6 +25,15 @@ check:
 trace-smoke:
 	$(GO) run ./cmd/gpusim -kernel VA -technique CTXBack -trace /tmp/ctxback-smoke.trace.json
 	$(GO) run ./cmd/tracecheck /tmp/ctxback-smoke.trace.json
+
+# sched-smoke replays a tiny contended multi-tenant trace under all
+# eight techniques on the preemptive scheduler and diffs the full report
+# (trace, per-technique stats, per-job tables) against the checked-in
+# golden. Any nondeterminism or unintended stats change fails the diff.
+sched-smoke:
+	$(GO) run ./cmd/schedsim -quick -seed 9 > /tmp/ctxback-sched-smoke.txt
+	diff -u testdata/sched_smoke.golden /tmp/ctxback-sched-smoke.txt
+	@echo "sched report byte-identical"
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/core/ ./internal/preempt/

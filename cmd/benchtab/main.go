@@ -6,7 +6,14 @@
 //
 //	benchtab [-quick] [-samples N] [-procs N] [-table1] [-fig7] [-fig8]
 //	         [-fig9] [-fig10] [-ablation] [-summary] [-all] [-metrics]
+//	benchtab -sched [-quick] [-procs N]
 //	benchtab -chaos [-faults RATE] [-fault-seed N]
+//
+// -sched replays one seeded multi-tenant arrival trace under every
+// technique on the preemptive scheduler (internal/sched) and prints the
+// cross-technique turnaround comparison. cmd/schedsim exposes the trace
+// knobs; here the canonical contended trace is fixed so runs are
+// comparable. -sched output is additive and does not alter -all.
 //
 // -metrics appends the observability report after the requested
 // experiments: the episode counters/latency histograms accumulated
@@ -23,6 +30,8 @@ import (
 
 	"ctxback/internal/harness"
 	"ctxback/internal/preempt"
+	"ctxback/internal/sched"
+	"ctxback/internal/sim"
 	"ctxback/internal/trace"
 )
 
@@ -42,6 +51,7 @@ func main() {
 		all        = flag.Bool("all", false, "everything (fault-free evaluation; chaos stays opt-in)")
 		procs      = flag.Int("procs", 0, "episode workers: 0 = GOMAXPROCS, 1 = serial (identical numbers either way)")
 		metrics    = flag.Bool("metrics", false, "append episode counters, latency histograms and the phase breakdown")
+		schedCmp   = flag.Bool("sched", false, "multi-tenant preemptive-schedule comparison across every technique")
 		chaos      = flag.Bool("chaos", false, "fault-injection robustness sweep across kernels x techniques")
 		faultRate  = flag.Float64("faults", 0, "chaos fault rate in [0,1] (0 = sweep the default rates)")
 		faultSeed  = flag.Uint64("fault-seed", 0, "chaos fault seed (0 = default)")
@@ -71,7 +81,7 @@ func main() {
 	if *metrics {
 		opts.Metrics = trace.NewRegistry()
 	}
-	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *ablation || *summary || *qos != "" || *contention != "" || *chaos) {
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *ablation || *summary || *qos != "" || *contention != "" || *chaos || *schedCmp) {
 		*all = true
 	}
 	if *all {
@@ -147,6 +157,30 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(harness.RenderContention(*contention, rows))
+	}
+	if *schedCmp {
+		// The canonical contended trace: one SM so every arrival fights
+		// for it, arrivals dense enough to force preemptions. On the full
+		// device the slow context path keeps SM-flushing competitive for
+		// these early preemptions (the Chimera trade-off); the quick
+		// device shows CTXBack ahead of both BASELINE and SM-flushing.
+		tc := sched.TraceConfig{Seed: 9, NumJobs: 8, NumTenants: 3, MeanGapCycles: 3_000}
+		sc := sched.DefaultSchedConfig()
+		sc.Dev.NumSMs = 1
+		// Long enough that a flush-and-restart forfeits real progress.
+		sc.Params.ItersPerWarp = 24
+		sc.Metrics = opts.Metrics
+		if *quick {
+			sc.Dev = sim.TestConfig()
+			sc.Dev.NumSMs = 1
+			sc.Dev.GlobalMemBytes = 64 << 20
+			sc.MaxCycles = 200_000_000
+		}
+		cmp, err := r.Schedule(tc, sc, preempt.ExtendedKinds())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(harness.RenderSchedule(cmp))
 	}
 	if *metrics {
 		rows, err := r.PhaseBreakdown(preempt.Kinds())

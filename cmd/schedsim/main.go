@@ -1,0 +1,141 @@
+// Command schedsim replays a seeded multi-tenant arrival trace on the
+// deterministic preemptive scheduler (internal/sched) and compares
+// preemption techniques on the identical trace.
+//
+// Usage:
+//
+//	schedsim [-seed N] [-jobs N] [-tenants N] [-gap CYCLES] [-prio N]
+//	         [-sms N] [-iters N] [-kinds all|paper|K1,K2,...]
+//	         [-quick] [-procs N] [-verify=false] [-metrics] [-events]
+//
+// The trace (who arrives when, with which kernel and priority) is a
+// pure function of the flags, and each technique's run is a
+// deterministic simulation, so two invocations with the same flags are
+// byte-identical regardless of -procs.
+//
+// -events appends each technique's scheduling decision log (arrivals,
+// preemptions, parks, resumes, completions with cycle stamps).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ctxback/internal/harness"
+	"ctxback/internal/preempt"
+	"ctxback/internal/sched"
+	"ctxback/internal/sim"
+	"ctxback/internal/trace"
+)
+
+// parseKinds resolves a -kinds value: "all" (every technique including
+// the SM-flushing and Chimera extensions), "paper" (the six evaluated
+// in the paper), or a comma-separated list of technique names as
+// printed in reports (case-insensitive).
+func parseKinds(spec string) ([]preempt.Kind, error) {
+	switch strings.ToLower(spec) {
+	case "", "all":
+		return preempt.ExtendedKinds(), nil
+	case "paper":
+		return preempt.Kinds(), nil
+	}
+	var kinds []preempt.Kind
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, k := range preempt.ExtendedKinds() {
+			if strings.EqualFold(name, k.String()) {
+				kinds = append(kinds, k)
+				found = true
+				break
+			}
+		}
+		if !found {
+			var known []string
+			for _, k := range preempt.ExtendedKinds() {
+				known = append(known, k.String())
+			}
+			return nil, fmt.Errorf("unknown technique %q (known: %s)", name, strings.Join(known, ", "))
+		}
+	}
+	return kinds, nil
+}
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "arrival-trace seed")
+		jobs    = flag.Int("jobs", 8, "number of kernel launches in the trace")
+		tenants = flag.Int("tenants", 3, "number of tenants sharing the device")
+		gap     = flag.Int64("gap", 3_000, "mean inter-arrival gap in cycles")
+		prio    = flag.Int("prio", 3, "priorities are drawn from [0, prio]")
+		sms     = flag.Int("sms", 1, "number of SMs (1 = maximum contention)")
+		iters   = flag.Int("iters", 24, "per-warp loop iterations (kernel length)")
+		kindsF  = flag.String("kinds", "all", "techniques: all, paper, or comma-separated names (e.g. BASELINE,CTXBack)")
+		quick   = flag.Bool("quick", false, "small unit-test device model (fast, less faithful)")
+		procs   = flag.Int("procs", 0, "technique-run workers: 0 = GOMAXPROCS, 1 = serial (identical output either way)")
+		verify  = flag.Bool("verify", true, "check every job's output against its CPU golden reference")
+		metrics = flag.Bool("metrics", false, "append per-tenant counters and latency histograms")
+		events  = flag.Bool("events", false, "append each technique's scheduling decision log")
+	)
+	flag.Parse()
+
+	usageErr := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "schedsim: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "schedsim:", err)
+		os.Exit(1)
+	}
+	if *jobs <= 0 || *tenants <= 0 || *gap <= 0 || *prio < 0 || *sms <= 0 || *iters <= 0 {
+		usageErr("-jobs, -tenants, -gap, -sms and -iters must be positive; -prio must be >= 0")
+	}
+	if *procs < 0 {
+		usageErr("-procs must be >= 0, got %d", *procs)
+	}
+	kinds, err := parseKinds(*kindsF)
+	if err != nil {
+		usageErr("%v", err)
+	}
+
+	tc := sched.TraceConfig{
+		Seed:          *seed,
+		NumJobs:       *jobs,
+		NumTenants:    *tenants,
+		MaxPriority:   *prio,
+		MeanGapCycles: *gap,
+	}
+	sc := sched.DefaultSchedConfig()
+	if *quick {
+		sc.Dev = sim.TestConfig()
+		sc.Dev.GlobalMemBytes = 64 << 20
+		sc.MaxCycles = 200_000_000
+	}
+	sc.Dev.NumSMs = *sms
+	sc.Params.ItersPerWarp = *iters
+	sc.Verify = *verify
+	if *metrics {
+		sc.Metrics = trace.NewRegistry()
+	}
+
+	o := harness.QuickOptions()
+	o.Parallelism = *procs
+	r := harness.NewRunner(o)
+	cmp, err := r.Schedule(tc, sc, kinds)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println(harness.RenderSchedule(cmp))
+	if *events {
+		for _, res := range cmp.Results {
+			fmt.Printf("\n%s decision log:\n%s", res.Kind, res.EventLog())
+		}
+	}
+	if *metrics {
+		fmt.Println()
+		fmt.Println(sc.Metrics.Render())
+	}
+}

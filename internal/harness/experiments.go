@@ -43,7 +43,7 @@ func (r *Runner) TableI() ([]TableIRow, error) {
 			ResumeUs:       r.o.Cfg.CyclesToMicros(st.ResumeCycles),
 			PaperPreemptUs: p.wl.PaperPreemptUs,
 			PaperResumeUs:  p.wl.PaperResumeUs,
-			Warps:          st.Victims,
+			Warps:          int(st.Victims),
 		}
 	}
 	return rows, nil

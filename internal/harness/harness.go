@@ -132,7 +132,7 @@ type EpisodeStats struct {
 	PreemptCycles int64
 	ResumeCycles  int64
 	SavedBytes    int64
-	Victims       int
+	Victims       int64
 
 	DrainCycles   int64 // signal → last victim entered its routine
 	SaveCycles    int64 // → SM released
@@ -202,7 +202,7 @@ func (o *Options) measure(p *prepared, kind preempt.Kind, signalCycle int64) (Ep
 		PreemptCycles: ep.PreemptLatencyCycles(),
 		ResumeCycles:  ep.ResumeCycles(),
 		SavedBytes:    ep.SavedBytes(),
-		Victims:       len(ep.Victims),
+		Victims:       int64(len(ep.Victims)),
 		DrainCycles:   ph.Drain,
 		SaveCycles:    ph.Save,
 		RestoreCycles: ph.Restore,

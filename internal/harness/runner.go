@@ -3,7 +3,9 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"ctxback/internal/kernels"
 	"ctxback/internal/preempt"
@@ -37,10 +39,25 @@ type Runner struct {
 	// Matrix memoization: measureMatrix results keyed by the kind list's
 	// string form. Episodes are deterministic, so a repeated sweep (e.g.
 	// Table I followed by the phase breakdown over the same kinds) reuses
-	// the measured matrix instead of re-simulating every episode. Only
-	// successful results are cached.
+	// the measured matrix instead of re-simulating every episode. Each key
+	// is computed exactly once (single-flight): concurrent callers that
+	// miss together block on the same entry's sync.Once instead of
+	// simulating the full matrix in parallel. Errors are memoized too —
+	// episodes are deterministic, so a retry would fail identically.
 	mmu    sync.Mutex
-	mcache map[string][][]EpisodeStats
+	mcache map[string]*matrixEntry
+
+	// matrixComputes counts actual matrix simulations (not cache hits);
+	// the single-flight test asserts one compute per key. Atomic because
+	// distinct keys may compute concurrently.
+	matrixComputes atomic.Int64
+}
+
+// matrixEntry is one single-flight matrix computation.
+type matrixEntry struct {
+	once sync.Once
+	avg  [][]EpisodeStats
+	err  error
 }
 
 type prepEntry struct {
@@ -54,7 +71,7 @@ func NewRunner(o Options) *Runner {
 	return &Runner{
 		o:      o,
 		prep:   make([]prepEntry, len(kernels.Registry())),
-		mcache: make(map[string][][]EpisodeStats),
+		mcache: make(map[string]*matrixEntry),
 	}
 }
 
@@ -81,10 +98,23 @@ func (r *Runner) preparedFor(i int) (*prepared, error) {
 	return e.p, e.err
 }
 
+// safeJob runs job(i) converting a panic into an error: a crashing
+// episode must surface as a failure, never fold into results as a
+// zero-valued sample (and a panic on a pool goroutine must not kill the
+// process before the fold can notice).
+func safeJob(job func(i int) error, i int) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("harness: job %d panicked: %v\n%s", i, p, debug.Stack())
+		}
+	}()
+	return job(i)
+}
+
 // runJobs executes jobs 0..n-1 across the worker pool and returns the
 // first error in job-index order (not completion order), so failures are
 // as deterministic as the results. With one worker it degenerates to the
-// legacy in-order loop.
+// legacy in-order loop. Panics inside jobs are converted to errors.
 func (r *Runner) runJobs(n int, job func(i int) error) error {
 	procs := r.o.procs()
 	if procs > n {
@@ -92,7 +122,7 @@ func (r *Runner) runJobs(n int, job func(i int) error) error {
 	}
 	if procs <= 1 {
 		for i := 0; i < n; i++ {
-			if err := job(i); err != nil {
+			if err := safeJob(job, i); err != nil {
 				return err
 			}
 		}
@@ -106,7 +136,7 @@ func (r *Runner) runJobs(n int, job func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = job(i)
+				errs[i] = safeJob(job, i)
 			}
 		}()
 	}
@@ -140,12 +170,17 @@ type episodeResult struct {
 	err error
 }
 
+// divRound divides non-negative sum by n rounding half up. Truncating
+// division biased every averaged stat downward by up to one cycle/byte;
+// rounding keeps the average within half a unit of the true mean.
+func divRound(sum, n int64) int64 { return (sum + n/2) / n }
+
 // foldEpisodes averages the episodes that hit a running SM, walking them
 // in sample order. Both the serial measureAvg path and the parallel
 // matrix fold go through here, so the two paths cannot diverge.
 func foldEpisodes(abbrev string, kind preempt.Kind, eps []episodeResult) (EpisodeStats, error) {
 	var sum EpisodeStats
-	count := 0
+	var count int64
 	for _, e := range eps {
 		if e.err != nil {
 			return EpisodeStats{}, e.err
@@ -166,14 +201,14 @@ func foldEpisodes(abbrev string, kind preempt.Kind, eps []episodeResult) (Episod
 	if count == 0 {
 		return EpisodeStats{}, fmt.Errorf("%s/%v: no sample point hit a running SM", abbrev, kind)
 	}
-	sum.PreemptCycles /= int64(count)
-	sum.ResumeCycles /= int64(count)
-	sum.SavedBytes /= int64(count)
-	sum.Victims /= count
-	sum.DrainCycles /= int64(count)
-	sum.SaveCycles /= int64(count)
-	sum.RestoreCycles /= int64(count)
-	sum.ReplayCycles /= int64(count)
+	sum.PreemptCycles = divRound(sum.PreemptCycles, count)
+	sum.ResumeCycles = divRound(sum.ResumeCycles, count)
+	sum.SavedBytes = divRound(sum.SavedBytes, count)
+	sum.Victims = divRound(sum.Victims, count)
+	sum.DrainCycles = divRound(sum.DrainCycles, count)
+	sum.SaveCycles = divRound(sum.SaveCycles, count)
+	sum.RestoreCycles = divRound(sum.RestoreCycles, count)
+	sum.ReplayCycles = divRound(sum.ReplayCycles, count)
 	return sum, nil
 }
 
@@ -182,14 +217,25 @@ func foldEpisodes(abbrev string, kind preempt.Kind, eps []episodeResult) (Episod
 // avg[ki][kj] corresponds to Registry()[ki] under kinds[kj]. Episode
 // errors are reported in the serial path's order: cells in (kernel,
 // kind) order, samples in index order within a cell.
-func (r *Runner) measureMatrix(kinds []preempt.Kind) (avg [][]EpisodeStats, err error) {
+func (r *Runner) measureMatrix(kinds []preempt.Kind) ([][]EpisodeStats, error) {
 	key := fmt.Sprint(kinds)
 	r.mmu.Lock()
-	cached, hit := r.mcache[key]
-	r.mmu.Unlock()
-	if hit {
-		return cached, nil
+	e, ok := r.mcache[key]
+	if !ok {
+		e = &matrixEntry{}
+		r.mcache[key] = e
 	}
+	r.mmu.Unlock()
+	e.once.Do(func() {
+		r.matrixComputes.Add(1)
+		e.avg, e.err = r.computeMatrix(kinds)
+	})
+	return e.avg, e.err
+}
+
+// computeMatrix simulates the full (kernel, kind, sample) episode matrix.
+// Only measureMatrix calls it, under the per-key single-flight entry.
+func (r *Runner) computeMatrix(kinds []preempt.Kind) (avg [][]EpisodeStats, err error) {
 	if err := r.prepareAll(); err != nil {
 		return nil, err
 	}
@@ -213,7 +259,11 @@ func (r *Runner) measureMatrix(kinds []preempt.Kind) (avg [][]EpisodeStats, err 
 		}
 	}
 	results := make([]episodeResult, nk*nt*ns)
-	r.runJobs(len(results), func(f int) error {
+	// Episode errors are stashed in results and surface via foldEpisodes
+	// in the serial path's order — but runJobs' own error (a panicking
+	// worker) must not be discarded: a crashed job left its slot
+	// zero-valued and the fold would silently average it as a miss.
+	if err := r.runJobs(len(results), func(f int) error {
 		ki := f / (nt * ns)
 		kj := (f / ns) % nt
 		si := f % ns
@@ -223,8 +273,10 @@ func (r *Runner) measureMatrix(kinds []preempt.Kind) (avg [][]EpisodeStats, err 
 		}
 		st, ok, err := r.o.measure(r.prep[ki].p, kinds[kj], pts[si])
 		results[f] = episodeResult{st: st, ok: ok, err: err}
-		return nil // errors surface via foldEpisodes, in serial order
-	})
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	avg = make([][]EpisodeStats, nk)
 	for ki := 0; ki < nk; ki++ {
 		avg[ki] = make([]EpisodeStats, nt)
@@ -237,8 +289,5 @@ func (r *Runner) measureMatrix(kinds []preempt.Kind) (avg [][]EpisodeStats, err 
 			avg[ki][kj] = st
 		}
 	}
-	r.mmu.Lock()
-	r.mcache[key] = avg
-	r.mmu.Unlock()
 	return avg, nil
 }

@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"ctxback/internal/preempt"
+	"ctxback/internal/sched"
+)
+
+// ScheduleComparison is one seeded arrival trace replayed under several
+// preemption techniques. Results[i] corresponds to Kinds[i].
+type ScheduleComparison struct {
+	Trace   sched.TraceConfig
+	Jobs    []sched.Job
+	Kinds   []preempt.Kind
+	Results []*sched.Result
+}
+
+// Schedule expands the trace config once and replays the identical
+// arrival trace under every technique in kinds, fanning the independent
+// runs across the Runner's worker pool. Each run is an isolated
+// deterministic simulation on its own Device, so the comparison is
+// bit-identical at every Parallelism setting.
+func (r *Runner) Schedule(tc sched.TraceConfig, sc sched.Config, kinds []preempt.Kind) (*ScheduleComparison, error) {
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("harness: Schedule needs at least one technique")
+	}
+	jobs, err := sched.GenTrace(tc)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &ScheduleComparison{Trace: tc, Jobs: jobs, Kinds: kinds,
+		Results: make([]*sched.Result, len(kinds))}
+	if err := r.runJobs(len(kinds), func(i int) error {
+		res, err := sched.Run(sc, kinds[i], jobs)
+		if err != nil {
+			return fmt.Errorf("schedule under %v: %w", kinds[i], err)
+		}
+		cmp.Results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return cmp, nil
+}
+
+// RenderSchedule formats the cross-technique comparison: the trace
+// header, one summary row per technique, then each technique's
+// per-tenant breakdown.
+func RenderSchedule(cmp *ScheduleComparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-tenant schedule: %d jobs, seed %d\n", len(cmp.Jobs), cmp.Trace.Seed)
+	fmt.Fprintf(&b, "  %-4s %-6s %-7s %4s %10s\n", "job", "kernel", "tenant", "prio", "arrival")
+	for _, j := range cmp.Jobs {
+		fmt.Fprintf(&b, "  %-4d %-6s %-7d %4d %10d\n", j.ID, j.Kernel, j.Tenant, j.Priority, j.Arrival)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s %12s %9s %12s %12s %12s\n",
+		"technique", "makespan", "preempts", "p50-turn", "p95-turn", "p99-turn")
+	for i, k := range cmp.Kinds {
+		res := cmp.Results[i]
+		fmt.Fprintf(&b, "%-18s %12d %9d %12d %12d %12d\n",
+			k, res.Makespan, res.TotalPreemptions, res.P50, res.P95, res.P99)
+	}
+	for _, res := range cmp.Results {
+		b.WriteByte('\n')
+		b.WriteString(res.Render())
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

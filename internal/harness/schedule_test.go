@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ctxback/internal/kernels"
+	"ctxback/internal/preempt"
+	"ctxback/internal/sched"
+	"ctxback/internal/sim"
+)
+
+// schedQuick mirrors the sched package's unit-test configuration: small
+// kernels long enough to be preempted mid-flight, on the unit-test
+// device with memory widened for per-job slabs.
+func schedQuick() (sched.TraceConfig, sched.Config) {
+	tc := sched.TraceConfig{Seed: 9, NumJobs: 6, NumTenants: 3, MeanGapCycles: 3_000}
+	p := kernels.TestParams()
+	p.ItersPerWarp = 24
+	dev := sim.TestConfig()
+	dev.GlobalMemBytes = 64 << 20
+	sc := sched.Config{Dev: dev, Params: p, MaxCycles: 200_000_000, Verify: true}
+	return tc, sc
+}
+
+func TestScheduleComparesKinds(t *testing.T) {
+	tc, sc := schedQuick()
+	r := NewRunner(quick())
+	kinds := []preempt.Kind{preempt.Baseline, preempt.CTXBack}
+	cmp, err := r.Schedule(tc, sc, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Results) != len(kinds) {
+		t.Fatalf("got %d results, want %d", len(cmp.Results), len(kinds))
+	}
+	for i, res := range cmp.Results {
+		if res == nil {
+			t.Fatalf("result %d is nil", i)
+		}
+		if res.Kind != kinds[i] {
+			t.Errorf("result %d kind = %v, want %v", i, res.Kind, kinds[i])
+		}
+		if len(res.Jobs) != len(cmp.Jobs) {
+			t.Errorf("%v scheduled %d jobs, want %d", kinds[i], len(res.Jobs), len(cmp.Jobs))
+		}
+	}
+	out := RenderSchedule(cmp)
+	for _, want := range []string{"technique", "makespan", "p95-turn", kinds[0].String(), kinds[1].String()} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered comparison missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := r.Schedule(tc, sc, nil); err == nil {
+		t.Error("Schedule with no kinds should error")
+	}
+}
+
+// TestScheduleAcrossProcs pins the -procs guarantee for the scheduler
+// path: the comparison is bit-identical at every Parallelism setting and
+// across repeated runs.
+func TestScheduleAcrossProcs(t *testing.T) {
+	tc, sc := schedQuick()
+	kinds := []preempt.Kind{preempt.Baseline, preempt.SMFlush, preempt.CTXBack}
+	run := func(procs int) *ScheduleComparison {
+		o := quick()
+		o.Parallelism = procs
+		cmp, err := NewRunner(o).Schedule(tc, sc, kinds)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		return cmp
+	}
+	serial := run(1)
+	for _, procs := range []int{4, 1} {
+		got := run(procs)
+		if !reflect.DeepEqual(serial.Jobs, got.Jobs) {
+			t.Fatalf("procs=%d: traces differ", procs)
+		}
+		for i := range kinds {
+			a, b := serial.Results[i], got.Results[i]
+			if !reflect.DeepEqual(a.Jobs, b.Jobs) || !reflect.DeepEqual(a.Tenants, b.Tenants) {
+				t.Errorf("procs=%d: %v stats differ from serial run", procs, kinds[i])
+			}
+			if a.EventLog() != b.EventLog() {
+				t.Errorf("procs=%d: %v event log differs from serial run", procs, kinds[i])
+			}
+		}
+		if RenderSchedule(serial) != RenderSchedule(got) {
+			t.Errorf("procs=%d: rendered comparison not byte-identical", procs)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"ctxback/internal/isa"
+	"ctxback/internal/preempt"
+	"ctxback/internal/sim"
+	"ctxback/internal/trace"
+)
+
+// muxRuntime dispatches the device-wide sim.Runtime hooks to per-job
+// technique instances by the warp's program. The simulator attaches ONE
+// runtime per device, but a scheduled run multiplexes many kernels —
+// each with its own compiled technique (per-run state like CKPT
+// snapshots must stay per job) — over that single attachment point.
+type muxRuntime struct {
+	kind  preempt.Kind
+	techs map[*isa.Program]preempt.Technique
+}
+
+func newMux(kind preempt.Kind) *muxRuntime {
+	return &muxRuntime{kind: kind, techs: make(map[*isa.Program]preempt.Technique)}
+}
+
+func (m *muxRuntime) add(prog *isa.Program, t preempt.Technique) { m.techs[prog] = t }
+
+func (m *muxRuntime) Name() string { return m.kind.String() }
+
+func (m *muxRuntime) PreemptRoutine(w *sim.Warp) []isa.Instruction {
+	return m.techs[w.Prog].PreemptRoutine(w)
+}
+
+func (m *muxRuntime) ResumeRoutine(w *sim.Warp) ([]isa.Instruction, *sim.SavedContext) {
+	return m.techs[w.Prog].ResumeRoutine(w)
+}
+
+func (m *muxRuntime) Hook(w *sim.Warp, pc int) ([]isa.Instruction, *sim.SavedContext) {
+	t, ok := m.techs[w.Prog]
+	if !ok {
+		return nil, nil
+	}
+	return t.Hook(w, pc)
+}
+
+// PhaseNames forwards the technique-flavored phase labels. One Kind
+// drives the whole run, so every registered technique agrees; any one
+// of them answers for all.
+func (m *muxRuntime) PhaseNames() trace.PhaseNames {
+	for _, t := range m.techs {
+		if pn, ok := t.(sim.PhaseNamer); ok {
+			return pn.PhaseNames()
+		}
+		break
+	}
+	return trace.DefaultPhaseNames()
+}

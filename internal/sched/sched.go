@@ -1,0 +1,615 @@
+// Package sched implements a deterministic multi-tenant preemptive GPU
+// scheduler on top of the simulator: N tenants submit Table-I kernel
+// launches over time, the scheduler multiplexes them across the device's
+// SMs, and higher-priority arrivals preempt lower-priority running jobs
+// through the sim's Episode machinery using any preempt.Kind. Because
+// every decision is a pure function of the seeded arrival trace and the
+// simulator's deterministic clock, the same trace replayed under two
+// techniques differs only by the techniques' context-switch costs —
+// which is exactly the comparison the paper's motivation (§I, §II-B:
+// multi-tenant GPU sharing needs low-latency preemption) calls for.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"ctxback/internal/kernels"
+	"ctxback/internal/preempt"
+	"ctxback/internal/sim"
+	"ctxback/internal/trace"
+)
+
+// Job is one tenant's kernel-launch request.
+type Job struct {
+	ID       int
+	Tenant   int
+	Kernel   string // Table-I abbreviation
+	Arrival  int64  // cycle the request reaches the scheduler
+	Priority int    // higher preempts lower
+}
+
+// TraceConfig seeds the deterministic arrival-trace generator.
+type TraceConfig struct {
+	Seed       int64
+	NumJobs    int
+	NumTenants int
+	// MaxPriority bounds the priority draw: priorities are uniform in
+	// [0, MaxPriority].
+	MaxPriority int
+	// MeanGapCycles is the mean inter-arrival gap; gaps are uniform in
+	// [0, 2*MeanGapCycles].
+	MeanGapCycles int64
+	// Kernels is the abbreviation pool jobs draw from. Empty uses
+	// DefaultKernelPool (the Table-I kernels every extended technique,
+	// including SM-flushing, can compile).
+	Kernels []string
+}
+
+// GenTrace expands the config into a concrete arrival trace. The same
+// config always yields the same trace (single seeded source, fixed draw
+// order: gap, tenant, kernel, priority per job).
+func GenTrace(tc TraceConfig) ([]Job, error) {
+	if tc.NumJobs <= 0 {
+		tc.NumJobs = 8
+	}
+	if tc.NumTenants <= 0 {
+		tc.NumTenants = 3
+	}
+	if tc.MaxPriority <= 0 {
+		tc.MaxPriority = 3
+	}
+	if tc.MeanGapCycles <= 0 {
+		tc.MeanGapCycles = 20_000
+	}
+	pool := tc.Kernels
+	if len(pool) == 0 {
+		pool = DefaultKernelPool()
+	}
+	if len(pool) == 0 {
+		return nil, errors.New("sched: empty kernel pool")
+	}
+	rng := rand.New(rand.NewSource(tc.Seed))
+	jobs := make([]Job, tc.NumJobs)
+	var arrival int64
+	for i := range jobs {
+		arrival += rng.Int63n(2*tc.MeanGapCycles + 1)
+		jobs[i] = Job{
+			ID:       i,
+			Tenant:   rng.Intn(tc.NumTenants),
+			Kernel:   pool[rng.Intn(len(pool))],
+			Arrival:  arrival,
+			Priority: rng.Intn(tc.MaxPriority + 1),
+		}
+	}
+	return jobs, nil
+}
+
+var (
+	poolOnce sync.Once
+	poolList []string
+)
+
+// DefaultKernelPool returns the Table-I kernels whose programs every
+// extended technique can compile. SM-flushing refuses non-idempotent
+// kernels, so a trace meant to compare all eight techniques must draw
+// from this subset; the filter is computed once, in registry order.
+func DefaultKernelPool() []string {
+	poolOnce.Do(func() {
+		wls, err := kernels.All(kernels.TestParams())
+		if err != nil {
+			return
+		}
+		for _, wl := range wls {
+			ok := true
+			for _, k := range preempt.ExtendedKinds() {
+				if _, err := preempt.New(k, wl.Prog); err != nil {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				poolList = append(poolList, wl.Abbrev)
+			}
+		}
+	})
+	return append([]string(nil), poolList...)
+}
+
+// Config configures one scheduled run.
+type Config struct {
+	Dev    sim.Config
+	Params kernels.Params
+	// SlabBytes is the per-job device-memory slab; job i's buffers live
+	// at 4096 + i*SlabBytes so tenants never alias. 0 picks a default
+	// sized to the device memory and job count.
+	SlabBytes int
+	MaxCycles int64
+	// Verify checks every job's output against its CPU golden reference
+	// after the schedule drains.
+	Verify bool
+	// Metrics, when non-nil, receives per-tenant counters and latency
+	// histograms after the run.
+	Metrics *trace.Registry
+}
+
+// DefaultSchedConfig is the configuration cmd/schedsim and the harness
+// comparison start from.
+func DefaultSchedConfig() Config {
+	return Config{
+		Dev:       sim.DefaultConfig(),
+		Params:    kernels.TestParams(),
+		MaxCycles: 2_000_000_000,
+		Verify:    true,
+	}
+}
+
+// Event is one entry of the run's decision log. The log is part of the
+// deterministic output: two runs of the same trace and technique must
+// produce identical logs.
+type Event struct {
+	Cycle int64
+	What  string // arrive, start, preempt, park, resume, resumed, complete
+	Job   int
+	SM    int // -1 when not SM-bound (arrive)
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%10d %-8s job=%d sm=%d", e.Cycle, e.What, e.Job, e.SM)
+}
+
+// smState is the scheduler's per-SM state machine.
+type smState int
+
+const (
+	smIdle     smState = iota
+	smRunning          // cur is executing
+	smSaving           // victim's episode is draining/saving; cur is the incoming job
+	smResuming         // cur's parked episode is restoring/replaying
+)
+
+// runJob is a Job's runtime state across the schedule.
+type runJob struct {
+	job    Job
+	wl     *kernels.Workload
+	launch *sim.Launch
+	sm     int
+
+	started  bool
+	start    int64 // first placement cycle
+	complete int64
+
+	preemptions int
+	episode     *sim.Episode // parked episode while suspended
+}
+
+type smSlot struct {
+	id     int
+	state  smState
+	cur    *runJob   // Running/Resuming: the active job; Saving: the incoming job
+	victim *runJob   // Saving: the job being swapped out
+	parked []*runJob // suspended jobs awaiting resume on this SM
+}
+
+type scheduler struct {
+	cfg  Config
+	d    *sim.Device
+	mux  *muxRuntime
+	kind preempt.Kind
+
+	jobs    []*runJob // arrival order
+	slots   []*smSlot
+	waiting []*runJob
+	nextArr int
+
+	events []Event
+	nDone  int
+}
+
+// Run executes the arrival trace under one preemption technique and
+// returns the per-job and per-tenant statistics. The run is a single
+// deterministic simulation: no goroutines, no map-order dependence, no
+// wall-clock input.
+func Run(cfg Config, kind preempt.Kind, jobs []Job) (*Result, error) {
+	s, err := newScheduler(cfg, kind, jobs)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return s.result()
+}
+
+func newScheduler(cfg Config, kind preempt.Kind, jobs []Job) (*scheduler, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("sched: empty trace")
+	}
+	if cfg.MaxCycles <= 0 {
+		cfg.MaxCycles = 2_000_000_000
+	}
+	const slabBase = 4096
+	if cfg.SlabBytes <= 0 {
+		cfg.SlabBytes = (cfg.Dev.GlobalMemBytes - slabBase) / len(jobs)
+		cfg.SlabBytes -= cfg.SlabBytes % 4096
+	}
+	if slabBase+len(jobs)*cfg.SlabBytes > cfg.Dev.GlobalMemBytes {
+		return nil, fmt.Errorf("sched: %d jobs x %d-byte slabs exceed device memory (%d bytes)",
+			len(jobs), cfg.SlabBytes, cfg.Dev.GlobalMemBytes)
+	}
+	d, err := sim.NewDevice(cfg.Dev)
+	if err != nil {
+		return nil, err
+	}
+	s := &scheduler{cfg: cfg, d: d, mux: newMux(kind), kind: kind}
+	// Jobs are admitted in (arrival, ID) order; ties resolve by ID so
+	// simultaneous arrivals admit deterministically.
+	ordered := append([]Job(nil), jobs...)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Arrival != ordered[j].Arrival {
+			return ordered[i].Arrival < ordered[j].Arrival
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	for i, j := range ordered {
+		p := cfg.Params
+		p.MemBase = slabBase + i*cfg.SlabBytes
+		wl, err := kernels.ByAbbrev(j.Kernel, p)
+		if err != nil {
+			return nil, fmt.Errorf("sched: job %d: %w", j.ID, err)
+		}
+		// Each job fills every warp slot of its SM (the paper's
+		// persistent-kernel batch model): preemption is the ONLY way a
+		// newcomer gets on, and a parked job's pending blocks can never
+		// race its own resume.
+		occ, err := d.ComputeOccupancy(wl.Prog, p.WarpsPerBlock)
+		if err != nil {
+			return nil, fmt.Errorf("sched: job %d (%s): %w", j.ID, j.Kernel, err)
+		}
+		p.NumBlocks = occ.BlocksPerSM
+		wl, err = kernels.ByAbbrev(j.Kernel, p)
+		if err != nil {
+			return nil, fmt.Errorf("sched: job %d: %w", j.ID, err)
+		}
+		tech, err := preempt.New(kind, wl.Prog)
+		if err != nil {
+			return nil, fmt.Errorf("sched: job %d (%s) under %v: %w", j.ID, j.Kernel, kind, err)
+		}
+		s.mux.add(wl.Prog, tech)
+		s.jobs = append(s.jobs, &runJob{job: j, wl: wl, sm: -1})
+	}
+	d.AttachRuntime(s.mux)
+	for i := 0; i < cfg.Dev.NumSMs; i++ {
+		s.slots = append(s.slots, &smSlot{id: i, state: smIdle})
+	}
+	return s, nil
+}
+
+func (s *scheduler) log(cycle int64, what string, job, sm int) {
+	s.events = append(s.events, Event{Cycle: cycle, What: what, Job: job, SM: sm})
+}
+
+// run drives the event loop: admit arrivals, poll episode/launch
+// transitions, assign freed SMs, then step the simulator to the next
+// event (or fast-forward an idle device to the next arrival).
+func (s *scheduler) run() error {
+	for {
+		for {
+			changed, err := s.admitArrivals()
+			if err != nil {
+				return err
+			}
+			if c, err := s.pollTransitions(); err != nil {
+				return err
+			} else if c {
+				changed = true
+			}
+			if c, err := s.assignIdle(); err != nil {
+				return err
+			} else if c {
+				changed = true
+			}
+			if !changed {
+				break
+			}
+		}
+		if s.nDone == len(s.jobs) {
+			return s.verify()
+		}
+		if err := s.d.RunUntil(s.eventReady, s.cfg.MaxCycles); err != nil {
+			return err
+		}
+		if s.eventReady() {
+			continue
+		}
+		// The device cannot make progress and no transition is ready:
+		// everything is either parked or not yet arrived.
+		if s.nextArr < len(s.jobs) {
+			s.d.AdvanceTo(s.jobs[s.nextArr].job.Arrival)
+			continue
+		}
+		return fmt.Errorf("sched: deadlock at cycle %d: %d/%d jobs complete, nothing runnable",
+			s.d.Now(), s.nDone, len(s.jobs))
+	}
+}
+
+func (s *scheduler) eventReady() bool {
+	if s.nextArr < len(s.jobs) && s.d.Now() >= s.jobs[s.nextArr].job.Arrival {
+		return true
+	}
+	for _, sl := range s.slots {
+		switch sl.state {
+		case smSaving:
+			if sl.victim.episode.Saved() {
+				return true
+			}
+		case smResuming:
+			if sl.cur.episode.Finished() {
+				return true
+			}
+		case smRunning:
+			if sl.cur.launch.Done() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// admitArrivals admits every job whose arrival cycle has passed: place
+// on an idle SM, else preempt the lowest-priority strictly-lower
+// running job, else queue.
+func (s *scheduler) admitArrivals() (bool, error) {
+	changed := false
+	for s.nextArr < len(s.jobs) && s.jobs[s.nextArr].job.Arrival <= s.d.Now() {
+		j := s.jobs[s.nextArr]
+		s.nextArr++
+		changed = true
+		s.log(j.job.Arrival, "arrive", j.job.ID, -1)
+		if sl := s.pickIdle(); sl != nil {
+			if err := s.place(j, sl); err != nil {
+				return false, err
+			}
+			continue
+		}
+		if sl := s.pickVictim(j); sl != nil {
+			if err := s.preemptFor(j, sl); err != nil {
+				return false, err
+			}
+			continue
+		}
+		s.waiting = append(s.waiting, j)
+	}
+	return changed, nil
+}
+
+// pickIdle returns the lowest-numbered idle SM, or nil.
+func (s *scheduler) pickIdle() *smSlot {
+	for _, sl := range s.slots {
+		if sl.state == smIdle {
+			return sl
+		}
+	}
+	return nil
+}
+
+// pickVictim returns the Running slot whose job has the lowest priority
+// strictly below j's (ties: latest arrival — preempt the newest work —
+// then lowest SM id), or nil when no running job may be displaced.
+func (s *scheduler) pickVictim(j *runJob) *smSlot {
+	var best *smSlot
+	for _, sl := range s.slots {
+		if sl.state != smRunning || sl.cur.job.Priority >= j.job.Priority {
+			continue
+		}
+		if best == nil {
+			best = sl
+			continue
+		}
+		b, c := best.cur.job, sl.cur.job
+		if c.Priority < b.Priority || (c.Priority == b.Priority && c.Arrival > b.Arrival) {
+			best = sl
+		}
+	}
+	return best
+}
+
+// place launches j pinned to slot sl (which must be idle). Blocks land
+// immediately: the SM has every slot free.
+func (s *scheduler) place(j *runJob, sl *smSlot) error {
+	if err := s.launch(j, sl.id); err != nil {
+		return err
+	}
+	sl.state = smRunning
+	sl.cur = j
+	if !j.started {
+		j.started = true
+		j.start = s.d.Now()
+	}
+	s.log(s.d.Now(), "start", j.job.ID, sl.id)
+	return nil
+}
+
+// preemptFor raises a preemption episode against sl's running job and
+// launches j pinned to the SM; j's blocks place the moment the victim's
+// last context store lands (the sim's save-complete redispatch). A
+// drained victim (all warps already retired) is not an error — the SM
+// is about to free, so j just queues.
+func (s *scheduler) preemptFor(j *runJob, sl *smSlot) error {
+	ep, err := s.d.Preempt(sl.id, s.mux)
+	if errors.Is(err, sim.ErrDrained) {
+		s.waiting = append(s.waiting, j)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sched: preempting job %d for job %d: %w", sl.cur.job.ID, j.job.ID, err)
+	}
+	v := sl.cur
+	v.episode = ep
+	v.preemptions++
+	s.log(s.d.Now(), "preempt", v.job.ID, sl.id)
+	sl.state = smSaving
+	sl.victim = v
+	sl.cur = j
+	return s.launch(j, sl.id)
+}
+
+func (s *scheduler) launch(j *runJob, sm int) error {
+	if j.launch != nil {
+		return fmt.Errorf("sched: job %d launched twice", j.job.ID)
+	}
+	if j.wl.Init != nil {
+		if err := j.wl.Init(s.d); err != nil {
+			return fmt.Errorf("sched: job %d init: %w", j.job.ID, err)
+		}
+	}
+	l, err := s.d.Launch(sim.LaunchSpec{
+		Prog:          j.wl.Prog,
+		NumBlocks:     j.wl.NumBlocks,
+		WarpsPerBlock: j.wl.WarpsPerBlock,
+		Setup:         j.wl.WarpSetup,
+		SMFilter:      []int{sm},
+	})
+	if err != nil {
+		return fmt.Errorf("sched: job %d launch: %w", j.job.ID, err)
+	}
+	j.launch = l
+	j.sm = sm
+	return nil
+}
+
+// pollTransitions advances the per-SM state machines on episode and
+// launch boundaries.
+func (s *scheduler) pollTransitions() (bool, error) {
+	changed := false
+	for _, sl := range s.slots {
+		switch sl.state {
+		case smSaving:
+			if !sl.victim.episode.Saved() {
+				continue
+			}
+			v := sl.victim
+			sl.victim = nil
+			sl.parked = append(sl.parked, v)
+			s.log(v.episode.AllSavedCycle, "park", v.job.ID, sl.id)
+			sl.state = smRunning
+			inc := sl.cur
+			if !inc.started {
+				inc.started = true
+				// The SM is physically free at the last context store,
+				// which is where the incoming blocks were placed.
+				inc.start = v.episode.AllSavedCycle
+			}
+			s.log(inc.start, "start", inc.job.ID, sl.id)
+			changed = true
+		case smResuming:
+			if !sl.cur.episode.Finished() {
+				continue
+			}
+			s.log(sl.cur.episode.AllResumed, "resumed", sl.cur.job.ID, sl.id)
+			sl.cur.episode = nil
+			sl.state = smRunning
+			changed = true
+		case smRunning:
+			if !sl.cur.launch.Done() {
+				continue
+			}
+			j := sl.cur
+			j.complete = launchEnd(j.launch)
+			s.log(j.complete, "complete", j.job.ID, sl.id)
+			sl.cur = nil
+			sl.state = smIdle
+			s.nDone++
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// launchEnd is the cycle the launch's last warp fully retired
+// (including outstanding stores) — deterministic, unlike the event
+// loop's observation cycle.
+func launchEnd(l *sim.Launch) int64 {
+	var end int64
+	for _, w := range l.Warps {
+		if w.ReadyAt > end {
+			end = w.ReadyAt
+		}
+	}
+	return end
+}
+
+// assignIdle hands each idle SM its next job: the highest-priority
+// candidate among the global waiting queue and the SM's own parked
+// victims (ties: earlier arrival, then lower job ID; a parked job wins
+// a full tie — it has already paid a context switch).
+func (s *scheduler) assignIdle() (bool, error) {
+	changed := false
+	for _, sl := range s.slots {
+		if sl.state != smIdle {
+			continue
+		}
+		wi := bestIndex(s.waiting)
+		pi := bestIndex(sl.parked)
+		if wi < 0 && pi < 0 {
+			continue
+		}
+		usePark := pi >= 0 && (wi < 0 || !jobLess(s.waiting[wi].job, sl.parked[pi].job))
+		if usePark {
+			v := sl.parked[pi]
+			sl.parked = append(sl.parked[:pi], sl.parked[pi+1:]...)
+			if err := s.d.Resume(v.episode); err != nil {
+				return false, fmt.Errorf("sched: resuming job %d: %w", v.job.ID, err)
+			}
+			sl.state = smResuming
+			sl.cur = v
+			s.log(v.episode.ResumeStart, "resume", v.job.ID, sl.id)
+		} else {
+			if err := s.place(s.waiting[wi], sl); err != nil {
+				return false, err
+			}
+			s.waiting = append(s.waiting[:wi], s.waiting[wi+1:]...)
+		}
+		changed = true
+	}
+	return changed, nil
+}
+
+// jobLess orders jobs for dispatch: higher priority first, then earlier
+// arrival, then lower ID.
+func jobLess(a, b Job) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.ID < b.ID
+}
+
+// bestIndex returns the index of the best job under jobLess, or -1.
+func bestIndex(js []*runJob) int {
+	best := -1
+	for i, j := range js {
+		if best < 0 || jobLess(j.job, js[best].job) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *scheduler) verify() error {
+	if !s.cfg.Verify {
+		return nil
+	}
+	for _, j := range s.jobs {
+		if err := j.wl.Verify(s.d); err != nil {
+			return fmt.Errorf("sched: job %d (%s, tenant %d) output corrupt after scheduling: %w",
+				j.job.ID, j.job.Kernel, j.job.Tenant, err)
+		}
+	}
+	return nil
+}

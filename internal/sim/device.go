@@ -262,10 +262,66 @@ func (l *Launch) allowedSM(sm *SM) bool {
 	return false
 }
 
-// dispatch places as many pending blocks as fit.
+// smUsage tallies the physical resources held by an SM's resident
+// (non-swapped-out) warps — across every launch sharing the SM, which
+// the per-launch occupancy limit alone cannot see.
+type smUsage struct {
+	warps     int
+	vregBytes int
+	sregBytes int
+	ldsBytes  int
+}
+
+func (sm *SM) usage() smUsage {
+	var u smUsage
+	var seen map[*blockInfo]bool
+	for _, w := range sm.Warps {
+		if w.State == WarpPreempted {
+			continue // context lives in device memory; slot is free
+		}
+		u.warps++
+		u.vregBytes += w.Prog.AllocatedVRegs() * 4 * isa.WarpSize
+		u.sregBytes += w.Prog.AllocatedSRegs() * 4
+		if w.Prog.LDSBytes > 0 {
+			if seen == nil {
+				seen = make(map[*blockInfo]bool)
+			}
+			if bi := w.launch.blocks[w.BlockID]; !seen[bi] {
+				seen[bi] = true
+				u.ldsBytes += w.Prog.LDSBytes
+			}
+		}
+	}
+	return u
+}
+
+// fits reports whether the SM can additionally host addWarps warps with
+// the given register/LDS footprint.
+func (u smUsage) fits(cfg *Config, addWarps, addVReg, addSReg, addLDS int) bool {
+	return u.warps+addWarps <= cfg.MaxWarpsPerSM &&
+		u.vregBytes+addVReg <= cfg.VRegFileBytes &&
+		u.sregBytes+addSReg <= cfg.SRegFileBytes &&
+		u.ldsBytes+addLDS <= cfg.LDSBytesPerSM
+}
+
+// blockFootprint is the physical resource demand of one block of spec.
+func blockFootprint(spec *LaunchSpec) (warps, vreg, sreg, lds int) {
+	warps = spec.WarpsPerBlock
+	vreg = spec.Prog.AllocatedVRegs() * 4 * isa.WarpSize * warps
+	sreg = spec.Prog.AllocatedSRegs() * 4 * warps
+	lds = spec.Prog.LDSBytes
+	return
+}
+
+// dispatch places as many pending blocks as fit. A block needs both a
+// free per-launch occupancy slot and physical headroom (warp slots,
+// register files, LDS) alongside every other tenant resident on the SM:
+// a newcomer cannot land on an SM whose victim warps have not yet saved
+// their contexts.
 func (d *Device) dispatch(l *Launch) {
 	for l.nextBlock < len(l.blocks) {
 		bi := l.blocks[l.nextBlock]
+		bw, bv, bs, blds := blockFootprint(&l.Spec)
 		var target *SM
 		for _, sm := range d.SMs {
 			if !l.allowedSM(sm) {
@@ -275,6 +331,9 @@ func (d *Device) dispatch(l *Launch) {
 				continue
 			}
 			if sm.blocksOf(l) >= l.Occ.BlocksPerSM {
+				continue
+			}
+			if !sm.usage().fits(&d.Cfg, bw, bv, bs, blds) {
 				continue
 			}
 			if target == nil || sm.residentWarps() < target.residentWarps() {

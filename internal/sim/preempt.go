@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ctxback/internal/isa"
 	"ctxback/internal/trace"
 )
 
@@ -43,6 +44,7 @@ type Episode struct {
 	// (all zero when no injector is attached).
 	Faults EpisodeFaults
 
+	enteredCount int
 	savedCount   int
 	resumedCount int
 
@@ -95,15 +97,30 @@ func (ep *Episode) PhaseNames() trace.PhaseNames { return ep.names }
 // execution. Required before Preempt with the same runtime.
 func (d *Device) AttachRuntime(rt Runtime) { d.rt = rt }
 
+// Parked reports whether the episode is swapped out: every context is
+// saved but resume has not started. A parked episode's SM may host a new
+// tenant — and even a new episode against that tenant — while the
+// victims wait in device memory.
+func (ep *Episode) Parked() bool { return ep.Saved() && ep.ResumeStart == 0 }
+
 // Preempt raises a preemption signal on SM smID at the current cycle.
 // Every resident kernel warp will enter its dedicated preemption routine
 // before issuing its next instruction.
+//
+// An SM whose previous episode is parked (fully saved, not resumed) may
+// be preempted again: the new episode's victims are the warps running
+// now (a newcomer tenant), while the parked victims stay swapped out
+// untouched. Preempting mid-save or mid-resume is an error — warps in
+// their switch routines have no consistent cut point.
 func (d *Device) Preempt(smID int, rt Runtime) (*Episode, error) {
 	if smID < 0 || smID >= len(d.SMs) {
 		return nil, fmt.Errorf("sim: no SM %d", smID)
 	}
 	sm := d.SMs[smID]
-	if sm.episode != nil && !sm.episode.Finished() {
+	if prev := sm.episode; prev != nil && !prev.Finished() && !prev.Parked() {
+		if prev.ResumeStart != 0 {
+			return nil, fmt.Errorf("sim: SM %d episode is mid-resume; preempt-while-resuming is not allowed", smID)
+		}
 		return nil, fmt.Errorf("sim: SM %d already has an active episode", smID)
 	}
 	if d.faults != nil && d.faults.DropSignal(smID) {
@@ -178,19 +195,20 @@ func (sm *SM) beginPreempt(w *Warp, t int64) {
 		// resume-integrity oracle before any routine instruction runs.
 		w.snapshot = w.snapshotArch()
 	}
+	w.episode = ep
 	w.ctx = NewSavedContext()
 	w.enterRoutine(ModePreemptRoutine, ep.rt.PreemptRoutine(w))
 	ep.noteEntered()
 }
 
+// noteEntered counts victims that entered their preemption routine.
+// The count lives on the episode, NOT derived from the warps' records: a
+// warp preempted before keeps its old record until the new episode
+// replaces it, so scanning records would clear the pending signal early
+// and let re-preempted victims run free.
 func (ep *Episode) noteEntered() {
-	n := 0
-	for _, w := range ep.Victims {
-		if w.preemptRec != nil {
-			n++
-		}
-	}
-	if n == len(ep.Victims) {
+	ep.enteredCount++
+	if ep.enteredCount == len(ep.Victims) {
 		ep.pending = false
 	}
 }
@@ -232,6 +250,12 @@ func (ep *Episode) onWarpSaved(w *Warp, cycle int64) {
 				Cycle: ep.SignalCycle + ph.Drain, Dur: ph.Save, SM: ep.SM.ID, Warp: -1,
 				Tech: ep.tech, Bytes: ep.SavedBytes()})
 		}
+		// The SM's resources are free the moment the last context is
+		// saved: launches that arrived after the signal (the newcomer the
+		// SM was vacated for) may place blocks now, without waiting for
+		// the victims to resume. Launches frozen by the episode stay
+		// barred by the dispatch gate until it fully finishes.
+		ep.SM.Dev.redispatch()
 	}
 }
 
@@ -271,8 +295,13 @@ func (ep *Episode) onWarpResumed(w *Warp, cycle int64) {
 				Cycle: ep.ResumeStart + ph.Restore, Dur: ph.Replay, SM: ep.SM.ID, Warp: -1,
 				Tech: ep.tech})
 		}
-		ep.SM.offline = false
-		ep.SM.episode = nil
+		// A parked episode's SM pointer may have moved on to a newer
+		// episode by the time its victims finish resuming; only release
+		// the SM if this episode still owns it.
+		if ep.SM.episode == ep {
+			ep.SM.offline = false
+			ep.SM.episode = nil
+		}
 		ep.SM.Dev.redispatch()
 	}
 }
@@ -319,6 +348,42 @@ func (d *Device) Resume(ep *Episode) error {
 	if ep.ResumeStart != 0 {
 		return fmt.Errorf("sim: episode already resumed")
 	}
+	// A parked episode resumes onto its original SM; if a newer episode
+	// took the SM over and is still draining, saving or resuming, the
+	// victims cannot re-materialize yet.
+	if cur := ep.SM.episode; cur != nil && cur != ep && !cur.Finished() && !cur.Parked() {
+		return fmt.Errorf("sim: SM %d is busy with another episode; cannot resume", ep.SM.ID)
+	}
+	// The victims' slots must physically fit back alongside whatever now
+	// runs on the SM — a newcomer tenant may still be resident.
+	var vr, sr, lds int
+	seen := map[*blockInfo]bool{}
+	for _, w := range ep.Victims {
+		vr += w.Prog.AllocatedVRegs() * 4 * isa.WarpSize
+		sr += w.Prog.AllocatedSRegs() * 4
+		if w.Prog.LDSBytes > 0 {
+			if bi := w.launch.blocks[w.BlockID]; !seen[bi] {
+				seen[bi] = true
+				live := false
+				for _, p := range bi.warps {
+					if p.State != WarpPreempted {
+						live = true // block LDS already counted via a resident peer
+						break
+					}
+				}
+				if !live {
+					lds += w.Prog.LDSBytes
+				}
+			}
+		}
+	}
+	if !ep.SM.usage().fits(&d.Cfg, len(ep.Victims), vr, sr, lds) {
+		return fmt.Errorf("sim: SM %d lacks physical headroom to resume %d victims", ep.SM.ID, len(ep.Victims))
+	}
+	// Re-take ownership: while the victims resume, the SM must stay
+	// barred to the launches this episode froze.
+	ep.SM.episode = ep
+	ep.SM.offline = true
 	// Saved() reports completion when the last CtxExit issues, but the
 	// context stores may still be in flight; the SM is only physically
 	// free at AllSavedCycle. Resuming cannot begin earlier.

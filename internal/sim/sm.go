@@ -215,7 +215,7 @@ func (sm *SM) issue(w *Warp, t int64) error {
 		if rec := w.preemptRec; rec != nil {
 			rec.SavedCycle = saved
 		}
-		sm.episode.onWarpSaved(w, saved)
+		w.episode.onWarpSaved(w, saved)
 	case eff.ctxResume:
 		w.Mode = ModeKernel
 		w.PC = eff.resumePC
@@ -227,11 +227,11 @@ func (sm *SM) issue(w *Warp, t int64) error {
 		restored := max(done, w.lastStoreDone, w.regReady.maxAll())
 		if rec := w.preemptRec; rec != nil {
 			rec.RestoreDone = restored
-			sm.episode.onWarpRestored(w, restored)
+			w.episode.onWarpRestored(w, restored)
 		}
 		if rec := w.preemptRec; rec != nil && rec.ResumeComplete == 0 && w.DynCount >= rec.DynAtSignal {
 			rec.ResumeComplete = restored
-			sm.episode.onWarpResumed(w, rec.ResumeComplete)
+			w.episode.onWarpResumed(w, rec.ResumeComplete)
 			if err := d.checkResume(w); err != nil {
 				return err
 			}
@@ -242,7 +242,7 @@ func (sm *SM) issue(w *Warp, t int64) error {
 	if w.Mode == ModeKernel {
 		if rec := w.preemptRec; rec != nil && rec.ResumeComplete == 0 && rec.ResumeStart > 0 && w.DynCount >= rec.DynAtSignal {
 			rec.ResumeComplete = max(done, w.lastStoreDone)
-			sm.episode.onWarpResumed(w, rec.ResumeComplete)
+			w.episode.onWarpResumed(w, rec.ResumeComplete)
 			if err := d.checkResume(w); err != nil {
 				return err
 			}

@@ -80,6 +80,11 @@ type Warp struct {
 	skipHookOnce bool          // suppress re-hooking the instruction a hook just ran for
 	ctx          *SavedContext // context buffer while preempted / resuming
 	preemptRec   *PreemptRecord
+	// episode is the preemption episode this warp is (or was last) a
+	// victim of. Kept on the warp — not looked up through the SM —
+	// because an SM may start a new episode against a different tenant
+	// while this warp's episode is parked (saved, awaiting resume).
+	episode *Episode
 	// snapshot is the architectural state captured when the preemption
 	// signal was observed (only with faults or a resume checker enabled);
 	// the resume-integrity oracle diffs against it.

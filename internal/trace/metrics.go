@@ -66,6 +66,43 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 // bucket is index len(bounds)).
 func (h *Histogram) Bucket(i int) int64 { return h.counts[i].Load() }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) as the upper bound of
+// the bucket containing the q-th ranked observation. The estimate is
+// deterministic (pure bucket arithmetic, no interpolation): the same
+// observations yield the same answer regardless of arrival order or
+// worker count. Observations in the overflow bucket report the last
+// bound (the histogram cannot resolve beyond it); an empty histogram
+// reports 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.Count()
+	if n == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target observation, 1-based, rounded up (the "nearest
+	// rank" definition): q=0.5 over 4 samples targets rank 2.
+	rank := int64(q * float64(n))
+	if float64(rank) < q*float64(n) || rank == 0 {
+		rank++
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry is a named collection of counters and histograms. Metrics
 // are created on first use and shared by name afterwards.
 type Registry struct {

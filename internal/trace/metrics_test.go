@@ -54,6 +54,58 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]int64{10, 100, 1000})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", got)
+	}
+	for _, v := range []int64{1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{
+		{0, 10},      // rank 1 -> bucket <=10
+		{0.25, 10},   // rank 1
+		{0.5, 10},    // rank 2: {1,5} both in <=10
+		{0.75, 100},  // rank 3: 50
+		{0.95, 1000}, // rank 4: 500
+		{1, 1000},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	// Overflow observations saturate at the last bound.
+	h.Observe(9_999_999)
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("overflow quantile = %d, want 1000", got)
+	}
+}
+
+func TestHistogramQuantileOrderInvariant(t *testing.T) {
+	vals := []int64{7, 300, 42, 9000, 150, 3, 77, 600}
+	mk := func(order []int64) *Histogram {
+		h := newHistogram(DefaultCycleBuckets)
+		for _, v := range order {
+			h.Observe(v)
+		}
+		return h
+	}
+	rev := make([]int64, len(vals))
+	for i, v := range vals {
+		rev[len(vals)-1-i] = v
+	}
+	a, b := mk(vals), mk(rev)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("Quantile(%v) depends on observation order", q)
+		}
+	}
+}
+
 func TestRegistryRenderDeterministic(t *testing.T) {
 	mk := func() *Registry {
 		r := NewRegistry()

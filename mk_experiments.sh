@@ -101,6 +101,38 @@ preempted SMs     fastest SM us    slowest SM us
 4                        309.52           309.53
 ```
 
+## Multi-tenant preemptive scheduling
+
+`go run ./cmd/schedsim` replays a seeded multi-tenant arrival trace
+(tenant, kernel, arrival cycle, priority) on a deterministic
+priority-preemptive scheduler (`internal/sched`), once per technique on
+the identical trace. Each job fills and is pinned to one SM, so a
+higher-priority arrival can only run by preempting — the per-episode
+switch latencies above become end-to-end queueing delay and turnaround.
+The contended CI smoke trace (`make sched-smoke`; 8 jobs, 3 tenants, one
+SM, quick device):
+
+```
+technique              makespan  preempts     p50-turn     p95-turn     p99-turn
+BASELINE                 298800         2       187881       286434       286434
+LIVE                     288284         2       179661       275918       275918
+CKPT                     280186         2       172080       267820       267820
+CS-Defer                 273904         2       168629       261538       261538
+CTXBack                  274431         2       168671       262065       262065
+CTXBack+CS-Defer         274431         2       168671       262065       262065
+SM-flushing              277492         2       170273       265126       265126
+Chimera+CTXBack          275471         2       168252       263105       263105
+```
+
+CTXBack's p95 turnaround beats both the liveness-blind BASELINE swap and
+SM-flushing's restart (`TestCTXBackBeatsHeavyweightP95`); on the full
+device with early-arriving bursts SM-flushing stays competitive — the
+Chimera trade-off at scheduler scale (`go run ./cmd/benchtab -sched`).
+Reports are byte-identical at every `-procs` setting and every job still
+verifies against its CPU golden reference after the schedule drains.
+Per-tenant queueing/turnaround histograms export via `-metrics`, the
+scheduling decision log via `-events`. DESIGN.md §7 has the model.
+
 ## Reproducing
 
 ```sh
@@ -109,6 +141,7 @@ go run ./cmd/benchtab -all -procs 8       # same numbers from 8 workers
 go run ./cmd/benchtab -quick -all         # fast smoke version
 go run ./cmd/benchtab -qos KM             # waiting-time tail distribution
 go run ./cmd/benchtab -contention KM      # multi-SM switch serialization
+go run ./cmd/schedsim -quick -seed 9      # multi-tenant schedule comparison
 go test -bench=. -benchmem                # the same experiments as benchmarks
 ```
 
