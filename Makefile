@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench eval trace-smoke evalcheck sched-smoke
+.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke procs-diff
 
 all: build
 
@@ -37,6 +37,21 @@ sched-smoke:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/core/ ./internal/preempt/
+
+# bench-smoke is the CI flavor of bench: one iteration per benchmark,
+# no timing thresholds — it only proves every benchmark still compiles,
+# runs, and reports allocations.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x -benchmem ./internal/sim/ ./internal/core/ ./internal/preempt/
+
+# procs-diff guards evaluation-engine determinism across parallelism:
+# the quick sweep must emit byte-identical output at -procs 1 and
+# -procs 4 (worker count may reorder episode execution, never results).
+procs-diff:
+	$(GO) run ./cmd/benchtab -quick -procs 1 > /tmp/ctxback-procs1.txt
+	$(GO) run ./cmd/benchtab -quick -procs 4 > /tmp/ctxback-procs4.txt
+	diff -u /tmp/ctxback-procs1.txt /tmp/ctxback-procs4.txt
+	@echo "quick sweep byte-identical across -procs 1/4"
 
 # Regenerate EXPERIMENTS.md from a full evaluation sweep.
 eval:

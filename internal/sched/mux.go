@@ -15,13 +15,22 @@ import (
 type muxRuntime struct {
 	kind  preempt.Kind
 	techs map[*isa.Program]preempt.Technique
+	// first is the first-registered technique: the deterministic
+	// representative for whole-run queries like PhaseNames (map
+	// iteration order would pick a random one).
+	first preempt.Technique
 }
 
 func newMux(kind preempt.Kind) *muxRuntime {
 	return &muxRuntime{kind: kind, techs: make(map[*isa.Program]preempt.Technique)}
 }
 
-func (m *muxRuntime) add(prog *isa.Program, t preempt.Technique) { m.techs[prog] = t }
+func (m *muxRuntime) add(prog *isa.Program, t preempt.Technique) {
+	if m.first == nil {
+		m.first = t
+	}
+	m.techs[prog] = t
+}
 
 func (m *muxRuntime) Name() string { return m.kind.String() }
 
@@ -42,14 +51,12 @@ func (m *muxRuntime) Hook(w *sim.Warp, pc int) ([]isa.Instruction, *sim.SavedCon
 }
 
 // PhaseNames forwards the technique-flavored phase labels. One Kind
-// drives the whole run, so every registered technique agrees; any one
-// of them answers for all.
+// drives the whole run, so every registered technique agrees; the
+// first-registered one answers for all (deterministically — ranging
+// over the techs map would consult an arbitrary instance).
 func (m *muxRuntime) PhaseNames() trace.PhaseNames {
-	for _, t := range m.techs {
-		if pn, ok := t.(sim.PhaseNamer); ok {
-			return pn.PhaseNames()
-		}
-		break
+	if pn, ok := m.first.(sim.PhaseNamer); ok {
+		return pn.PhaseNames()
 	}
 	return trace.DefaultPhaseNames()
 }

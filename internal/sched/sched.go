@@ -331,7 +331,14 @@ func (s *scheduler) run() error {
 			s.d.AdvanceTo(s.jobs[s.nextArr].job.Arrival)
 			continue
 		}
-		return fmt.Errorf("sched: deadlock at cycle %d: %d/%d jobs complete, nothing runnable",
+		// The ready queue's O(1) head peek distinguishes a truly empty
+		// device from an indexed issue that never became runnable (which
+		// would indicate a scheduler bug, not a workload deadlock).
+		if next, ok := s.d.NextIssueTime(); ok {
+			return fmt.Errorf("sched: deadlock at cycle %d: %d/%d jobs complete, next indexed issue at cycle %d never ran",
+				s.d.Now(), s.nDone, len(s.jobs), next)
+		}
+		return fmt.Errorf("sched: deadlock at cycle %d: %d/%d jobs complete, nothing runnable (no pending issue indexed)",
 			s.d.Now(), s.nDone, len(s.jobs))
 	}
 }

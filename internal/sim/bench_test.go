@@ -42,6 +42,68 @@ loop:
 	return p
 }
 
+// benchOccupancyDevice builds a device with every warp slot of every SM
+// filled by two tenants' compute-bound launches — the regime where the
+// scheduler's per-instruction warp-selection cost dominates (selection
+// work grows with occupancy, not with useful work).
+func benchOccupancyDevice(b *testing.B, prog *isa.Program) *Device {
+	b.Helper()
+	cfg := DefaultConfig()
+	cfg.GlobalMemBytes = 4 << 20 // keep per-iteration Mem allocation cheap
+	d := mustNewDevice(cfg)
+	// Two tenants split the device's warp slots; together they saturate
+	// all NumSMs x MaxWarpsPerSM slots.
+	perTenant := cfg.NumSMs * cfg.MaxWarpsPerSM / 2 / 2 // blocks of 2 warps
+	for tenant := 0; tenant < 2; tenant++ {
+		base := 1 << 20
+		if tenant == 1 {
+			base = 2 << 20
+		}
+		_, err := d.Launch(LaunchSpec{
+			Prog: prog, NumBlocks: perTenant, WarpsPerBlock: 2,
+			Setup: func(w *Warp) {
+				w.SRegs[0] = 48 // loop count
+				w.SRegs[1] = uint64(base + w.ID*isa.WarpSize*4)
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return d
+}
+
+// runOccupancyBench drives the saturated device to completion each
+// iteration; scan toggles the O(W)-scan reference scheduler so the
+// event-driven ready queue can be compared against it on identical work.
+func runOccupancyBench(b *testing.B, scan bool) {
+	prog := benchLoopProgram(b)
+	var instrs int64
+	for b.Loop() {
+		d := benchOccupancyDevice(b, prog)
+		if scan {
+			d.UseReferenceScheduler()
+		}
+		if err := d.Run(1 << 40); err != nil {
+			b.Fatal(err)
+		}
+		instrs += d.Stats.Instructions
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(instrs)/secs, "sim_instrs/s")
+	}
+}
+
+// BenchmarkStepFullOccupancy measures per-instruction scheduling cost at
+// full occupancy (multi-tenant, all SMs saturated) under the default
+// event-driven ready queue.
+func BenchmarkStepFullOccupancy(b *testing.B) { runOccupancyBench(b, false) }
+
+// BenchmarkStepFullOccupancyReference is the same workload under the
+// retained O(SMs x warps) linear-scan reference scheduler — the
+// before/after pair BENCH_PR5.json records.
+func BenchmarkStepFullOccupancyReference(b *testing.B) { runOccupancyBench(b, true) }
+
 // BenchmarkSimExecLoop measures the simulator's per-instruction cost on
 // the hot execute/issue path. Run with -benchmem: allocs/op is the
 // regression gate for the zero-allocation inner loop.

@@ -49,6 +49,21 @@ type Device struct {
 	// resumeChecker is the installed resume-integrity oracle (nil: off).
 	resumeChecker func(w *Warp) error
 
+	// rq indexes every ready warp by hazard-resolved candidate issue
+	// time (see readyq.go); Step pops the global minimum instead of
+	// rescanning the device.
+	rq readyQueue
+	// scanMode selects the retained linear-scan reference scheduler
+	// (UseReferenceScheduler); the ready queue is then bypassed.
+	scanMode bool
+	// qerr holds a deferred scheduling error (a ready warp whose stream
+	// ran dry at enqueue time); surfaced by the next Step, matching when
+	// the scan would have discovered it.
+	qerr error
+	// migrations counts future->stalled ready-queue migrations
+	// (scheduler cost accounting; see issueAdvanced).
+	migrations int64
+
 	hazardScratch []isa.Reg
 	defsScratch   []isa.Reg
 }
@@ -69,10 +84,26 @@ func NewDevice(cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	d := &Device{Cfg: cfg, Mem: make([]uint32, cfg.GlobalMemBytes/4)}
-	for i := 0; i < cfg.NumSMs; i++ {
-		d.SMs = append(d.SMs, &SM{ID: i, Dev: d})
+	d := &Device{
+		Cfg: cfg,
+		Mem: make([]uint32, cfg.GlobalMemBytes/4),
+		SMs: make([]*SM, 0, cfg.NumSMs),
+		// The issue path must not allocate: size the operand scratch
+		// buffers for the widest instructions up front.
+		hazardScratch: make([]isa.Reg, 0, 8),
+		defsScratch:   make([]isa.Reg, 0, 8),
 	}
+	// One slab backs every SM's future heap at full capacity so the hot
+	// path never grows a heap slice (the three-index slices keep each
+	// SM's region from appending into its neighbor's).
+	slab := make([]*Warp, cfg.NumSMs*cfg.MaxWarpsPerSM)
+	for i := 0; i < cfg.NumSMs; i++ {
+		sm := &SM{ID: i, Dev: d, candT: math.MaxInt64, candLast: math.MaxInt64}
+		lo, hi := i*cfg.MaxWarpsPerSM, (i+1)*cfg.MaxWarpsPerSM
+		sm.future.ws = slab[lo:lo:hi]
+		d.SMs = append(d.SMs, sm)
+	}
+	d.rq.init(d.SMs)
 	return d, nil
 }
 
@@ -222,7 +253,10 @@ func (d *Device) Launch(spec LaunchSpec) (*Launch, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &Launch{Spec: spec, Dev: d, Occ: occ}
+	l := &Launch{Spec: spec, Dev: d, Occ: occ,
+		Warps:  make([]*Warp, 0, spec.NumBlocks*spec.WarpsPerBlock),
+		blocks: make([]*blockInfo, 0, spec.NumBlocks),
+	}
 	ldsWords := spec.Prog.LDSBytes / 4
 	shareBytes := 0
 	if spec.Prog.LDSBytes > 0 {
@@ -230,7 +264,8 @@ func (d *Device) Launch(spec LaunchSpec) (*Launch, error) {
 	}
 	wid := 0
 	for b := 0; b < spec.NumBlocks; b++ {
-		bi := &blockInfo{id: b, lds: &LDSBlock{Data: make([]uint32, ldsWords), BlockID: b}}
+		bi := &blockInfo{id: b, lds: &LDSBlock{Data: make([]uint32, ldsWords), BlockID: b},
+			warps: make([]*Warp, 0, spec.WarpsPerBlock)}
 		for wi := 0; wi < spec.WarpsPerBlock; wi++ {
 			w := newWarp(wid, b, wi, spec.Prog, bi.lds)
 			w.LDSShareLo = wi * shareBytes
@@ -348,7 +383,13 @@ func (d *Device) dispatch(l *Launch) {
 		for _, w := range bi.warps {
 			w.SM = target
 			w.ReadyAt = d.now
+			// qseq freezes the warp's scan position: sm.Warps only ever
+			// appends (removals keep relative order), so append order is
+			// the reference scheduler's within-SM tie-break.
+			w.qseq = target.seqGen
+			target.seqGen++
 			target.Warps = append(target.Warps, w)
+			d.enqueueReady(w)
 		}
 		l.nextBlock++
 	}
@@ -360,10 +401,55 @@ func (l *Launch) Done() bool { return l.doneWarps == len(l.Warps) }
 // Step executes the single globally-earliest issuable instruction.
 // Returns false when nothing can make progress (all done, or everything
 // is blocked/preempted).
-func (d *Device) Step() (bool, error) {
-	var best *Warp
-	var bestSM *SM
-	bestT := int64(math.MaxInt64)
+func (d *Device) Step() (bool, error) { return d.step(math.MaxInt64) }
+
+// step is Step with a budget limit: when the earliest pending issue
+// lies beyond limit, it returns a *BudgetError without committing the
+// step (the clock and all warp state are untouched), so RunUntil can
+// reject overshoot before it happens instead of reporting it after.
+func (d *Device) step(limit int64) (bool, error) {
+	if d.scanMode {
+		return d.stepScan(limit)
+	}
+	if d.qerr != nil {
+		return false, d.qerr
+	}
+	// The queue head is the globally earliest issuable warp under the
+	// reference scan's (issue time, lastIssued, scan position) order.
+	sm := d.rq.sms[0]
+	best, bestT := sm.candW, sm.candT
+	if best == nil {
+		return false, nil
+	}
+	if bestT > limit {
+		return false, &BudgetError{Now: d.now, Next: bestT, Limit: limit}
+	}
+	sm.dequeue(best)
+	if err := sm.issue(best, bestT); err != nil {
+		return false, err
+	}
+	// The issue advanced sm.issueFree (and may have enqueued warps on
+	// any SM through barrier releases, dispatch, or episode completion —
+	// each of those fixed its own SM's heap position as it happened).
+	d.issueAdvanced(sm)
+	if best.State == WarpReady {
+		d.enqueueReady(best)
+	}
+	// Stall fast-forward: issuing at the queue head's time jumps the
+	// clock over any stall in this one step.
+	if bestT > d.now {
+		d.now = bestT
+	}
+	d.Stats.Cycles = d.now
+	return true, nil
+}
+
+// scanBest is the linear-scan warp selection the ready queue replaced,
+// kept verbatim as the reference scheduler's executable specification
+// of the issue order (stepScan) and cross-checked against the queue by
+// the differential tests.
+func (d *Device) scanBest() (best *Warp, bestSM *SM, bestT int64, err error) {
+	bestT = int64(math.MaxInt64)
 	for _, sm := range d.SMs {
 		for _, w := range sm.Warps {
 			if w.State != WarpReady {
@@ -374,7 +460,7 @@ func (d *Device) Step() (bool, error) {
 			if !w.candValid {
 				in := w.currentInstr()
 				if in == nil {
-					return false, fmt.Errorf("sim: warp %d ran off the end of its stream (mode %d)", w.ID, w.Mode)
+					return nil, nil, 0, fmt.Errorf("sim: warp %d ran off the end of its stream (mode %d)", w.ID, w.Mode)
 				}
 				w.candTime = max(w.ReadyAt, w.regReadyAt(d.hazardRegs(in)))
 				w.candValid = true
@@ -387,8 +473,20 @@ func (d *Device) Step() (bool, error) {
 			}
 		}
 	}
+	return best, bestSM, bestT, nil
+}
+
+// stepScan is Step under the reference scheduler (UseReferenceScheduler).
+func (d *Device) stepScan(limit int64) (bool, error) {
+	best, bestSM, bestT, err := d.scanBest()
+	if err != nil {
+		return false, err
+	}
 	if best == nil {
 		return false, nil
+	}
+	if bestT > limit {
+		return false, &BudgetError{Now: d.now, Next: bestT, Limit: limit}
 	}
 	if err := bestSM.issue(best, bestT); err != nil {
 		return false, err
@@ -428,24 +526,38 @@ func (d *Device) AdvanceTo(cycle int64) {
 	}
 }
 
-// RunUntil steps until cond is true, no progress is possible, or
-// maxCycles elapse. It returns an error on simulation faults or on
-// deadlock while work remains and expectIdle is false.
+// BudgetError reports a RunUntil cycle budget exceeded: the earliest
+// pending issue lies beyond the budget limit. It is raised BEFORE the
+// offending step commits, so the clock still reads Now and no state
+// changed — a single long stall can no longer silently overshoot the
+// budget before being reported.
+type BudgetError struct {
+	Now   int64 // clock when the check fired (unchanged by the check)
+	Next  int64 // cycle of the earliest pending issue
+	Limit int64 // last cycle the budget allows (start + maxCycles)
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: cycle budget exceeded: next issue at cycle %d is past limit %d (now %d, overshoot %d cycles)",
+		e.Next, e.Limit, e.Now, e.Next-e.Limit)
+}
+
+// RunUntil steps until cond is true, no progress is possible, or the
+// cycle budget would be exceeded. It returns an error on simulation
+// faults, or a *BudgetError — checked before each step commits — when
+// the next issue would land past d.now+maxCycles at entry.
 func (d *Device) RunUntil(cond func() bool, maxCycles int64) error {
 	limit := d.now + maxCycles
 	for {
 		if cond != nil && cond() {
 			return nil
 		}
-		progressed, err := d.Step()
+		progressed, err := d.step(limit)
 		if err != nil {
 			return err
 		}
 		if !progressed {
 			return nil
-		}
-		if d.now > limit {
-			return fmt.Errorf("sim: exceeded cycle budget (%d cycles)", maxCycles)
 		}
 	}
 }

@@ -231,6 +231,12 @@ func (d *Device) execVectorALU(w *Warp, in *isa.Instruction) {
 	var dst []uint32
 	if !writesVCC {
 		dst = w.VRegs[in.Dst.Index]
+		// Fully-active warps (the overwhelmingly common case) take
+		// specialized per-op loops with no per-lane mask test, operand
+		// branch, or function call.
+		if w.Exec == ^uint64(0) && execVALUFast(in.Op, dst, av, bv, au, bu) {
+			return
+		}
 	}
 	var newVCC uint64
 	for lane := 0; lane < isa.WarpSize; lane++ {
@@ -258,6 +264,117 @@ func (d *Device) execVectorALU(w *Warp, in *isa.Instruction) {
 	if writesVCC {
 		w.VCC = newVCC
 	}
+}
+
+// execVALUFast executes the hottest integer vector ops for a fully
+// active EXEC mask with tight per-op loops over all lanes — the per-lane
+// dispatch (valuLane) is the single most executed call in the simulator,
+// and these loops replace it with straight-line slice arithmetic. It
+// covers the two dominant operand shapes (vector op vector, vector op
+// broadcast); anything else reports false and falls through to the
+// generic masked loop. Results are bit-identical to valuLane by
+// construction: each arm repeats the same expression.
+func execVALUFast(op isa.Op, dst, av, bv []uint32, au, bu uint32) bool {
+	dst = dst[:isa.WarpSize:isa.WarpSize]
+	switch op {
+	case isa.VLaneID:
+		for l := range dst {
+			dst[l] = uint32(l)
+		}
+		return true
+	case isa.VMov:
+		if av != nil {
+			copy(dst, av[:isa.WarpSize])
+		} else {
+			for l := range dst {
+				dst[l] = au
+			}
+		}
+		return true
+	}
+	if av == nil {
+		return false
+	}
+	av = av[:isa.WarpSize]
+	if bv != nil {
+		bv = bv[:isa.WarpSize]
+		switch op {
+		case isa.VAdd:
+			for l := range dst {
+				dst[l] = av[l] + bv[l]
+			}
+		case isa.VSub:
+			for l := range dst {
+				dst[l] = av[l] - bv[l]
+			}
+		case isa.VMul:
+			for l := range dst {
+				dst[l] = av[l] * bv[l]
+			}
+		case isa.VAnd:
+			for l := range dst {
+				dst[l] = av[l] & bv[l]
+			}
+		case isa.VOr:
+			for l := range dst {
+				dst[l] = av[l] | bv[l]
+			}
+		case isa.VXor:
+			for l := range dst {
+				dst[l] = av[l] ^ bv[l]
+			}
+		case isa.VShl:
+			for l := range dst {
+				dst[l] = av[l] << (bv[l] & 31)
+			}
+		case isa.VShr:
+			for l := range dst {
+				dst[l] = av[l] >> (bv[l] & 31)
+			}
+		default:
+			return false
+		}
+		return true
+	}
+	switch op {
+	case isa.VAdd:
+		for l := range dst {
+			dst[l] = av[l] + bu
+		}
+	case isa.VSub:
+		for l := range dst {
+			dst[l] = av[l] - bu
+		}
+	case isa.VMul:
+		for l := range dst {
+			dst[l] = av[l] * bu
+		}
+	case isa.VAnd:
+		for l := range dst {
+			dst[l] = av[l] & bu
+		}
+	case isa.VOr:
+		for l := range dst {
+			dst[l] = av[l] | bu
+		}
+	case isa.VXor:
+		for l := range dst {
+			dst[l] = av[l] ^ bu
+		}
+	case isa.VShl:
+		sh := bu & 31
+		for l := range dst {
+			dst[l] = av[l] << sh
+		}
+	case isa.VShr:
+		sh := bu & 31
+		for l := range dst {
+			dst[l] = av[l] >> sh
+		}
+	default:
+		return false
+	}
+	return true
 }
 
 // resolveVectorOperand splits a vector-context source into its per-lane

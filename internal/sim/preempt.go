@@ -165,7 +165,7 @@ func (d *Device) Preempt(smID int, rt Runtime) (*Episode, error) {
 			w.State = WarpReady
 			w.PC-- // back to the barrier instruction itself
 			w.ReadyAt = max(w.ReadyAt, d.now)
-			w.candValid = false
+			d.enqueueReady(w)
 		}
 	}
 	if d.faults != nil && d.faults.DupSignal(smID) {
@@ -428,7 +428,7 @@ func (d *Device) Resume(ep *Episode) error {
 		w.ReadyAt = start
 		w.regReady.reset()
 		w.lastStoreDone = 0
-		w.candValid = false
+		d.enqueueReady(w)
 	}
 	return nil
 }

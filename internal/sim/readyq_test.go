@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ctxback/internal/isa"
+)
+
+// checkQueueInvariants walks every ready structure and asserts the
+// properties Step's O(1) pop relies on:
+//   - the stalled list is strictly sorted by (lastIssued, qseq) and its
+//     members' candTime never exceeds issueFree (port-gated);
+//   - the future heap satisfies the min-heap property under its
+//     (candTime, lastIssued, qseq) key, members are hazard-gated
+//     (candTime > issueFree), and intrusive indices are consistent;
+//   - each SM's cached candidate key matches a fresh derivation;
+//   - the device heap satisfies the min-heap property under the cached
+//     keys, and its intrusive indices are consistent.
+func checkQueueInvariants(t *testing.T, d *Device) {
+	t.Helper()
+	for _, sm := range d.SMs {
+		var prev *Warp
+		for w := sm.stalledHead; w != nil; w = w.qnext {
+			if w.qheap != qheapStalled {
+				t.Fatalf("SM %d: stalled member warp %d tagged %d", sm.ID, w.ID, w.qheap)
+			}
+			if w.candTime > sm.issueFree {
+				t.Fatalf("SM %d: stalled warp %d has candTime %d > issueFree %d",
+					sm.ID, w.ID, w.candTime, sm.issueFree)
+			}
+			if w.qprev != prev {
+				t.Fatalf("SM %d: stalled list back-link broken at warp %d", sm.ID, w.ID)
+			}
+			if prev != nil && !stalledBefore(prev, w) {
+				t.Fatalf("SM %d: stalled list out of order: (%d,%d) before (%d,%d)",
+					sm.ID, prev.lastIssued, prev.qseq, w.lastIssued, w.qseq)
+			}
+			prev = w
+		}
+		if sm.stalledTail != prev {
+			t.Fatalf("SM %d: stalled tail %v != last node %v", sm.ID, sm.stalledTail, prev)
+		}
+		for i, w := range sm.future.ws {
+			if w.qheap != qheapFuture || w.qidx != i {
+				t.Fatalf("SM %d: future heap intrusive index broken at %d (warp %d: qheap=%d qidx=%d)",
+					sm.ID, i, w.ID, w.qheap, w.qidx)
+			}
+			if w.candTime <= sm.issueFree {
+				t.Fatalf("SM %d: future warp %d has candTime %d <= issueFree %d",
+					sm.ID, w.ID, w.candTime, sm.issueFree)
+			}
+			if p := (i - 1) / 2; i > 0 && sm.future.less(w, sm.future.ws[p]) {
+				t.Fatalf("SM %d: future heap property violated at index %d", sm.ID, i)
+			}
+		}
+		wantW, wantT, wantLast := sm.candW, sm.candT, sm.candLast
+		sm.refreshCand()
+		if sm.candW != wantW || sm.candT != wantT || sm.candLast != wantLast {
+			t.Fatalf("SM %d: cached candidate key stale: had (%v,%d,%d), derived (%v,%d,%d)",
+				sm.ID, wantW, wantT, wantLast, sm.candW, sm.candT, sm.candLast)
+		}
+	}
+	if len(d.rq.sms) != len(d.SMs) {
+		t.Fatalf("device heap holds %d SMs, want %d (fixed membership)", len(d.rq.sms), len(d.SMs))
+	}
+	for i, sm := range d.rq.sms {
+		if sm.rqIdx != i {
+			t.Fatalf("device heap intrusive index broken: SM %d at %d has rqIdx %d", sm.ID, i, sm.rqIdx)
+		}
+		if p := (i - 1) / 2; i > 0 && rqLess(sm, d.rq.sms[p]) {
+			t.Fatalf("device heap property violated at index %d", i)
+		}
+	}
+}
+
+func readyqTestDevice(t *testing.T) *Device {
+	t.Helper()
+	prog, err := isa.Assemble(`
+.kernel rqtest
+.vregs 4
+.sregs 8
+.lds 256
+  v_laneid v0
+  v_shl v1, v0, 2 !noovf
+loop:
+  v_add v2, v2, s0
+  v_mul v3, v2, 5
+  v_lstore v1, v3, 0
+  v_lload v3, v1, 0
+  s_sub s0, s0, 1
+  s_barrier
+  s_cmp_gt s0, 0
+  s_cbranch_scc1 loop
+  v_add v1, v1, s1
+  v_gstore v1, v2, 0
+  s_endpgm
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDevice(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = d.Launch(LaunchSpec{
+		Prog: prog, NumBlocks: 4, WarpsPerBlock: 2,
+		Setup: func(w *Warp) {
+			w.SRegs[0] = 9
+			w.SRegs[1] = uint64(4096 + w.ID*isa.WarpSize*4)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestReadyQueueInvariants steps a barrier-heavy multi-block kernel to
+// completion and re-checks every queue invariant after each instruction.
+func TestReadyQueueInvariants(t *testing.T) {
+	d := readyqTestDevice(t)
+	checkQueueInvariants(t, d)
+	for steps := 0; ; steps++ {
+		progressed, err := d.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !progressed {
+			break
+		}
+		checkQueueInvariants(t, d)
+		if steps > 1_000_000 {
+			t.Fatal("kernel did not finish")
+		}
+	}
+	for _, l := range d.launches {
+		if !l.Done() {
+			t.Fatal("device stalled before the launch finished")
+		}
+	}
+}
+
+// TestNextIssueTime pins the O(1) queue-head peek to what Step actually
+// does next, on both schedulers.
+func TestNextIssueTime(t *testing.T) {
+	for _, scan := range []bool{false, true} {
+		d := readyqTestDevice(t)
+		if scan {
+			d.UseReferenceScheduler()
+		}
+		for {
+			next, ok := d.NextIssueTime()
+			progressed, err := d.Step()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !progressed {
+				if ok {
+					t.Fatalf("scan=%v: NextIssueTime reported %d ready but Step made no progress", scan, next)
+				}
+				break
+			}
+			if !ok {
+				t.Fatalf("scan=%v: Step progressed but NextIssueTime reported nothing ready", scan)
+			}
+			if d.Now() < next {
+				t.Fatalf("scan=%v: issued at cycle %d, before predicted next issue %d", scan, d.Now(), next)
+			}
+		}
+	}
+}
+
+// TestRunUntilBudgetError pins satellite #1: the budget check fires
+// BEFORE the overshooting step commits — the clock must still read the
+// pre-step cycle, and the error must carry now/next/limit.
+func TestRunUntilBudgetError(t *testing.T) {
+	for _, scan := range []bool{false, true} {
+		d := readyqTestDevice(t)
+		if scan {
+			d.UseReferenceScheduler()
+		}
+		const budget = 25
+		err := d.RunUntil(nil, budget)
+		var be *BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("scan=%v: want *BudgetError, got %v", scan, err)
+		}
+		if be.Limit != budget {
+			t.Fatalf("scan=%v: Limit=%d want %d", scan, be.Limit, budget)
+		}
+		if be.Next <= be.Limit {
+			t.Fatalf("scan=%v: Next=%d should lie past Limit=%d", scan, be.Next, be.Limit)
+		}
+		if d.Now() != be.Now {
+			t.Fatalf("scan=%v: clock moved after budget rejection: now=%d, error says %d", scan, d.Now(), be.Now)
+		}
+		if d.Now() > budget {
+			t.Fatalf("scan=%v: clock overshot the budget: now=%d limit=%d", scan, d.Now(), budget)
+		}
+		// The rejected step must still be issuable afterwards: the check
+		// committed nothing.
+		progressed, err := d.Step()
+		if err != nil || !progressed {
+			t.Fatalf("scan=%v: device wedged after budget rejection: progressed=%v err=%v", scan, progressed, err)
+		}
+		if d.Now() != be.Next {
+			t.Fatalf("scan=%v: post-rejection issue at %d, error predicted %d", scan, d.Now(), be.Next)
+		}
+	}
+}
+
+// TestStepUnlimitedBudget guards the Step wrapper's math.MaxInt64 limit.
+func TestStepUnlimitedBudget(t *testing.T) {
+	d := readyqTestDevice(t)
+	if err := d.RunUntil(nil, math.MaxInt64-d.Now()); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range d.launches {
+		if !l.Done() {
+			t.Fatal("launch did not finish under an unlimited budget")
+		}
+	}
+}

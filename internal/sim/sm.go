@@ -18,6 +18,21 @@ type SM struct {
 	issueFree int64 // next cycle the issue port is free
 	ldsFree   int64 // next cycle the LDS pipeline is free
 
+	// Ready-queue state (see readyq.go): the SM's ready warps split into
+	// the port-gated stalled list (round-robin sorted, O(1) at both hot
+	// ends) and the hazard-gated future heap. candW/candT/candLast cache
+	// the SM's best candidate and its device-heap key; rqIdx is the SM's
+	// position in the device-level heap; seqGen hands out scan-position
+	// tie-break sequence numbers as warps are appended to Warps.
+	stalledHead *Warp
+	stalledTail *Warp
+	future      warpHeap
+	candW       *Warp
+	candT       int64
+	candLast    int64
+	rqIdx       int
+	seqGen      int64
+
 	// offline marks an SM being preempted: the dispatcher must not place
 	// new victim blocks on it until the episode resolves.
 	offline bool
@@ -286,7 +301,7 @@ func (sm *SM) checkBarrier(w *Warp, t int64) {
 		peer.State = WarpReady
 		peer.BarrierCount = target
 		peer.ReadyAt = release + 1
-		peer.candValid = false
+		sm.Dev.enqueueReady(peer)
 	}
 }
 

@@ -99,12 +99,24 @@ type Warp struct {
 	// lastIssued is the cycle of this warp's most recent issue (used for
 	// round-robin tie-breaking in the scheduler).
 	lastIssued int64
-	// candTime caches the hazard-resolved earliest issue time for the
-	// warp's next instruction; candValid is cleared whenever the warp's
-	// own state advances.
+	// candTime is the hazard-resolved earliest issue time for the warp's
+	// next instruction. The ready queue derives it at enqueue (it is the
+	// warp's heap key); the reference scan derives it lazily, with
+	// candValid as the cache flag cleared whenever the warp's own state
+	// advances.
 	candTime  int64
 	candValid bool
-	launch    *Launch
+	// Ready-queue intrusive state (see readyq.go): which ready structure
+	// holds the warp (qheapNone when not enqueued), its links in the
+	// stalled list, its index in the future heap, and its scan-position
+	// sequence number — the tie-break that reproduces the reference
+	// scan's first-in-scan-order preference.
+	qheap uint8
+	qprev *Warp
+	qnext *Warp
+	qidx  int
+	qseq  int64
+	launch *Launch
 }
 
 // PreemptPC returns the PC at which this warp observed the preemption
@@ -211,8 +223,11 @@ type regClock struct {
 const numSpecRegs = 3 // EXEC, VCC, SCC
 
 func (c *regClock) init(numVRegs, numSRegs int) {
-	c.v = make([]int64, numVRegs)
-	c.s = make([]int64, numSRegs)
+	// One backing allocation; a growth in set() simply reallocates that
+	// slice away from the shared array.
+	buf := make([]int64, numVRegs+numSRegs)
+	c.v = buf[:numVRegs:numVRegs]
+	c.s = buf[numVRegs:]
 }
 
 // reset forgets every in-flight value (warp re-materialization).
