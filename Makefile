@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke procs-diff
+.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke procs-diff shards-diff
 
 all: build
 
@@ -52,6 +52,23 @@ procs-diff:
 	$(GO) run ./cmd/benchtab -quick -procs 4 > /tmp/ctxback-procs4.txt
 	diff -u /tmp/ctxback-procs1.txt /tmp/ctxback-procs4.txt
 	@echo "quick sweep byte-identical across -procs 1/4"
+
+# shards-diff guards epoch-engine determinism across intra-device
+# parallelism, mirroring procs-diff on the other axis: the quick sweep
+# and the scheduler report must be byte-identical at -shards 1 and
+# -shards 4 (sharding may interleave SM drains, never results). The
+# sched golden is also checked under sharding, at -sms 2 as well since
+# the default -sms 1 clamps every shard count to serial.
+shards-diff:
+	$(GO) run ./cmd/benchtab -quick -shards 1 > /tmp/ctxback-shards1.txt
+	$(GO) run ./cmd/benchtab -quick -shards 4 > /tmp/ctxback-shards4.txt
+	diff -u /tmp/ctxback-shards1.txt /tmp/ctxback-shards4.txt
+	$(GO) run ./cmd/schedsim -quick -seed 9 -shards 4 > /tmp/ctxback-sched-shards.txt
+	diff -u testdata/sched_smoke.golden /tmp/ctxback-sched-shards.txt
+	$(GO) run ./cmd/schedsim -quick -seed 9 -sms 2 -shards 1 > /tmp/ctxback-sched-sms2-s1.txt
+	$(GO) run ./cmd/schedsim -quick -seed 9 -sms 2 -shards 4 > /tmp/ctxback-sched-sms2-s4.txt
+	diff -u /tmp/ctxback-sched-sms2-s1.txt /tmp/ctxback-sched-sms2-s4.txt
+	@echo "quick sweep and sched reports byte-identical across -shards 1/4"
 
 # Regenerate EXPERIMENTS.md from a full evaluation sweep.
 eval:

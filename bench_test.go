@@ -181,7 +181,7 @@ func BenchmarkPreemptEpisode(b *testing.B) {
 				if _, err := wl.Launch(d); err != nil {
 					b.Fatal(err)
 				}
-				if err := d.RunUntil(func() bool { return d.Now() > 2000 }, 1<<40); err != nil {
+				if err := d.RunToCycle(2001, 1<<40); err != nil {
 					b.Fatal(err)
 				}
 				ep, err := d.Preempt(0, tech)

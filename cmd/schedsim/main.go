@@ -6,12 +6,16 @@
 //
 //	schedsim [-seed N] [-jobs N] [-tenants N] [-gap CYCLES] [-prio N]
 //	         [-sms N] [-iters N] [-kinds all|paper|K1,K2,...]
-//	         [-quick] [-procs N] [-verify=false] [-metrics] [-events]
+//	         [-quick] [-procs N] [-shards N] [-verify=false] [-metrics]
+//	         [-events]
 //
 // The trace (who arrives when, with which kernel and priority) is a
 // pure function of the flags, and each technique's run is a
 // deterministic simulation, so two invocations with the same flags are
-// byte-identical regardless of -procs.
+// byte-identical regardless of -procs and -shards. The two flags are
+// orthogonal parallelism axes: -procs runs whole technique replays on
+// separate workers, -shards splits each simulated device's SMs across
+// goroutines (epoch-parallel engine, capped at -sms).
 //
 // -events appends each technique's scheduling decision log (arrivals,
 // preemptions, parks, resumes, completions with cycle stamps).
@@ -75,6 +79,7 @@ func main() {
 		kindsF  = flag.String("kinds", "all", "techniques: all, paper, or comma-separated names (e.g. BASELINE,CTXBack)")
 		quick   = flag.Bool("quick", false, "small unit-test device model (fast, less faithful)")
 		procs   = flag.Int("procs", 0, "technique-run workers: 0 = GOMAXPROCS, 1 = serial (identical output either way)")
+		shards  = flag.Int("shards", 0, "SM shards inside each technique's device: 0/1 = serial, n>1 = n goroutines capped at -sms (identical output either way; -procs spreads whole technique runs, -shards splits one device)")
 		verify  = flag.Bool("verify", true, "check every job's output against its CPU golden reference")
 		metrics = flag.Bool("metrics", false, "append per-tenant counters and latency histograms")
 		events  = flag.Bool("events", false, "append each technique's scheduling decision log")
@@ -95,6 +100,9 @@ func main() {
 	}
 	if *procs < 0 {
 		usageErr("-procs must be >= 0, got %d", *procs)
+	}
+	if *shards < 0 {
+		usageErr("-shards must be >= 0, got %d", *shards)
 	}
 	kinds, err := parseKinds(*kindsF)
 	if err != nil {
@@ -117,12 +125,14 @@ func main() {
 	sc.Dev.NumSMs = *sms
 	sc.Params.ItersPerWarp = *iters
 	sc.Verify = *verify
+	sc.Shards = *shards
 	if *metrics {
 		sc.Metrics = trace.NewRegistry()
 	}
 
 	o := harness.QuickOptions()
 	o.Parallelism = *procs
+	o.Shards = *shards
 	r := harness.NewRunner(o)
 	cmp, err := r.Schedule(tc, sc, kinds)
 	if err != nil {

@@ -117,7 +117,7 @@ func measure(signal, clean int64, mk func(*isa.Program) (preempt.Technique, erro
 	if _, err := wl2.Launch(d2); err != nil {
 		return 0, 0, err
 	}
-	if err := d2.RunUntil(func() bool { return d2.Now() >= signal }, 1<<40); err != nil {
+	if err := d2.RunToCycle(signal, 1<<40); err != nil {
 		return 0, 0, err
 	}
 	ep, err := d2.Preempt(0, tech2)

@@ -97,7 +97,7 @@ func runScenario(cfg sim.Config, batchParams, lsParams kernels.Params, kind pree
 	}
 	arrival := dry.Now() / 3
 
-	if err := d.RunUntil(func() bool { return d.Now() >= arrival }, 1<<40); err != nil {
+	if err := d.RunToCycle(arrival, 1<<40); err != nil {
 		return result{}, err
 	}
 	signal := d.Now()

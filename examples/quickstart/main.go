@@ -101,7 +101,7 @@ func main() {
 	}
 
 	// Let it run half way, then preempt.
-	if err := d.RunUntil(func() bool { return d.Now() > 10_000 }, 1<<30); err != nil {
+	if err := d.RunToCycle(10_001, 1<<30); err != nil {
 		log.Fatal(err)
 	}
 	ep, err := d.Preempt(0, tech)

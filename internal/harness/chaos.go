@@ -240,7 +240,7 @@ func (o *Options) chaosEpisode(p *prepared, kind preempt.Kind, signal int64,
 	if err != nil {
 		return run, fmt.Errorf("%s/%v: %w", p.wl.Abbrev, kind, err)
 	}
-	d, err := sim.NewDevice(o.Cfg)
+	d, err := o.newDevice()
 	if err != nil {
 		return run, err
 	}
@@ -256,7 +256,7 @@ func (o *Options) chaosEpisode(p *prepared, kind preempt.Kind, signal int64,
 	if _, err := p.wl.Launch(d); err != nil {
 		return run, err
 	}
-	if err := d.RunUntil(func() bool { return d.Now() >= signal }, o.MaxCycles); err != nil {
+	if err := d.RunToCycle(signal, o.MaxCycles); err != nil {
 		return run, err // pre-signal execution injects no detectable faults
 	}
 

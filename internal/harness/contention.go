@@ -46,7 +46,7 @@ func contentionPoint(o Options, abbrev string, preemptSMs int) (ContentionRow, e
 	if err != nil {
 		return ContentionRow{}, err
 	}
-	d, err := sim.NewDevice(o.Cfg)
+	d, err := o.newDevice()
 	if err != nil {
 		return ContentionRow{}, err
 	}
@@ -54,7 +54,7 @@ func contentionPoint(o Options, abbrev string, preemptSMs int) (ContentionRow, e
 	if _, err := wl.Launch(d); err != nil {
 		return ContentionRow{}, err
 	}
-	if err := d.RunUntil(func() bool { return d.Now() > 2000 }, o.MaxCycles); err != nil {
+	if err := d.RunToCycle(2001, o.MaxCycles); err != nil {
 		return ContentionRow{}, err
 	}
 	var eps []*sim.Episode

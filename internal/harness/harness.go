@@ -32,6 +32,15 @@ type Options struct {
 	// 1 is the legacy serial path, n>1 forces n workers. Reported
 	// numbers are identical at every setting; only wall-clock changes.
 	Parallelism int
+	// Shards is the intra-device SM shard count handed to every device
+	// the harness creates (sim.Device.SetShards). The two parallelism
+	// axes multiply: Parallelism spreads independent episodes across
+	// workers, Shards splits one device's SMs across goroutines. 0
+	// (auto) resolves to intra-device sharding only when the episode
+	// pool is serial — with Parallelism > 1 the pool already saturates
+	// the cores, so auto picks 1 shard per device. Like Parallelism,
+	// the setting never changes reported numbers, only wall-clock.
+	Shards int
 	// Metrics, when non-nil, receives evaluation counters and latency
 	// histograms (episodes measured/drained, per-phase cycle
 	// distributions). All updates are atomic, so the registry is shared
@@ -48,6 +57,22 @@ func (o *Options) logf(format string, args ...any) {
 	if o.Logf != nil {
 		o.Logf(format, args...)
 	}
+}
+
+// newDevice builds a device with the resolved shard count applied.
+func (o *Options) newDevice() (*sim.Device, error) {
+	d, err := sim.NewDevice(o.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	shards := o.Shards
+	if shards == 0 && o.procs() > 1 {
+		// Auto: the episode pool already occupies the cores; sharding
+		// each device on top would only oversubscribe.
+		shards = 1
+	}
+	d.SetShards(shards)
+	return d, nil
 }
 
 // DefaultOptions is the configuration used for EXPERIMENTS.md.
@@ -89,7 +114,7 @@ func (o *Options) prepare(factory kernels.Factory) (*prepared, error) {
 		return nil, err
 	}
 	if o.FillDevice {
-		d, err := sim.NewDevice(o.Cfg)
+		d, err := o.newDevice()
 		if err != nil {
 			return nil, err
 		}
@@ -104,7 +129,7 @@ func (o *Options) prepare(factory kernels.Factory) (*prepared, error) {
 			return nil, err
 		}
 	}
-	d, err := sim.NewDevice(o.Cfg)
+	d, err := o.newDevice()
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +187,7 @@ func (o *Options) measure(p *prepared, kind preempt.Kind, signalCycle int64) (Ep
 	if err != nil {
 		return EpisodeStats{}, false, fmt.Errorf("%s/%v: %w", p.wl.Abbrev, kind, err)
 	}
-	d, err := sim.NewDevice(o.Cfg)
+	d, err := o.newDevice()
 	if err != nil {
 		return EpisodeStats{}, false, err
 	}
@@ -171,7 +196,7 @@ func (o *Options) measure(p *prepared, kind preempt.Kind, signalCycle int64) (Ep
 	if err != nil {
 		return EpisodeStats{}, false, err
 	}
-	if err := d.RunUntil(func() bool { return d.Now() >= signalCycle }, o.MaxCycles); err != nil {
+	if err := d.RunToCycle(signalCycle, o.MaxCycles); err != nil {
 		return EpisodeStats{}, false, err
 	}
 	if launch.Done() {
@@ -283,7 +308,7 @@ func (o *Options) measureAvg(p *prepared, kind preempt.Kind) (EpisodeStats, erro
 // runtimeCycles measures full-kernel execution with (or without) a
 // technique's instrumentation attached — the Fig 10 runtime overhead.
 func (o *Options) runtimeCycles(p *prepared, kind preempt.Kind, attach bool) (int64, error) {
-	d, err := sim.NewDevice(o.Cfg)
+	d, err := o.newDevice()
 	if err != nil {
 		return 0, err
 	}

@@ -13,6 +13,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -134,6 +135,11 @@ type Config struct {
 	// Metrics, when non-nil, receives per-tenant counters and latency
 	// histograms after the run.
 	Metrics *trace.Registry
+	// Shards is the intra-device SM shard count (sim.Device.SetShards):
+	// 0/1 run the device serially, n>1 shards its SMs across n
+	// goroutines. Schedule outputs — decision log, per-tenant stats,
+	// golden verification — are byte-identical at every setting.
+	Shards int
 }
 
 // DefaultSchedConfig is the configuration cmd/schedsim and the harness
@@ -244,6 +250,9 @@ func newScheduler(cfg Config, kind preempt.Kind, jobs []Job) (*scheduler, error)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Shards != 0 {
+		d.SetShards(cfg.Shards)
+	}
 	s := &scheduler{cfg: cfg, d: d, mux: newMux(kind), kind: kind}
 	// Jobs are admitted in (arrival, ID) order; ties resolve by ID so
 	// simultaneous arrivals admit deterministically.
@@ -319,7 +328,15 @@ func (s *scheduler) run() error {
 		if s.nDone == len(s.jobs) {
 			return s.verify()
 		}
-		if err := s.d.RunUntil(s.eventReady, s.cfg.MaxCycles); err != nil {
+		// eventReady is a boundary condition except for its arrival
+		// term, whose earliest firing cycle is known exactly — passing
+		// it as the time bound keeps the epoch engine byte-identical to
+		// the serial one (the arrival-crossing step commits serially).
+		nextArrival := int64(math.MaxInt64)
+		if s.nextArr < len(s.jobs) {
+			nextArrival = s.jobs[s.nextArr].job.Arrival
+		}
+		if err := s.d.RunUntilBounded(s.eventReady, nextArrival, s.cfg.MaxCycles); err != nil {
 			return err
 		}
 		if s.eventReady() {

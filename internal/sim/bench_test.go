@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"ctxback/internal/isa"
@@ -9,7 +10,7 @@ import (
 // benchLoopProgram is a mixed-traffic kernel exercising the simulator's
 // hot loop: scalar and vector ALU, a data-dependent loop, LDS traffic and
 // global loads/stores — the instruction mix the Table I kernels present.
-func benchLoopProgram(b *testing.B) *isa.Program {
+func benchLoopProgram(b testing.TB) *isa.Program {
 	b.Helper()
 	p, err := isa.Assemble(`
 .kernel benchloop
@@ -46,7 +47,7 @@ loop:
 // filled by two tenants' compute-bound launches — the regime where the
 // scheduler's per-instruction warp-selection cost dominates (selection
 // work grows with occupancy, not with useful work).
-func benchOccupancyDevice(b *testing.B, prog *isa.Program) *Device {
+func benchOccupancyDevice(b testing.TB, prog *isa.Program) *Device {
 	b.Helper()
 	cfg := DefaultConfig()
 	cfg.GlobalMemBytes = 4 << 20 // keep per-iteration Mem allocation cheap
@@ -103,6 +104,33 @@ func BenchmarkStepFullOccupancy(b *testing.B) { runOccupancyBench(b, false) }
 // retained O(SMs x warps) linear-scan reference scheduler — the
 // before/after pair BENCH_PR5.json records.
 func BenchmarkStepFullOccupancyReference(b *testing.B) { runOccupancyBench(b, true) }
+
+// BenchmarkStepSharded measures the epoch-parallel engine on the exact
+// BenchmarkStepFullOccupancy workload at increasing shard counts —
+// the scaling curve BENCH_PR6.json records. Shards/1 is the sharded
+// engine's serial configuration (identical code path to
+// BenchmarkStepFullOccupancy); the 8-shard point is clamped to the
+// device's NumSMs by SetShards, so on the default 4-SM config it pins
+// the plateau past the useful width.
+func BenchmarkStepSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			prog := benchLoopProgram(b)
+			var instrs int64
+			for b.Loop() {
+				d := benchOccupancyDevice(b, prog)
+				d.SetShards(shards)
+				if err := d.Run(1 << 40); err != nil {
+					b.Fatal(err)
+				}
+				instrs += d.Stats.Instructions
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(instrs)/secs, "sim_instrs/s")
+			}
+		})
+	}
+}
 
 // BenchmarkSimExecLoop measures the simulator's per-instruction cost on
 // the hot execute/issue path. Run with -benchmem: allocs/op is the

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"ctxback/internal/faults"
 	"ctxback/internal/isa"
@@ -64,8 +65,21 @@ type Device struct {
 	// (scheduler cost accounting; see issueAdvanced).
 	migrations int64
 
-	hazardScratch []isa.Reg
-	defsScratch   []isa.Reg
+	// Epoch-parallel engine state (see epoch.go). shards is the number
+	// of goroutines SMs are partitioned across (1: serial engine);
+	// inPhase is true while shards drain concurrently, switching
+	// enqueueReady to SM-local updates; blocksPending counts launched
+	// blocks not yet placed on an SM (while non-zero, an endpgm can
+	// inject fresh warps, so the epoch horizon must bound distances to
+	// program end); hookPred is the runtime's optional hook-site
+	// predicate; distCache memoizes per-program distance-to-endpgm
+	// tables; epochShards is the reused per-shard accumulator slab.
+	shards        int
+	inPhase       bool
+	blocksPending int
+	hookPred      HookPredicate
+	distCache     map[*isa.Program][]int32
+	epochShards   []epochShard
 }
 
 // DeviceStats aggregates device-wide counters.
@@ -85,20 +99,23 @@ func NewDevice(cfg Config) (*Device, error) {
 		return nil, err
 	}
 	d := &Device{
-		Cfg: cfg,
-		Mem: make([]uint32, cfg.GlobalMemBytes/4),
-		SMs: make([]*SM, 0, cfg.NumSMs),
-		// The issue path must not allocate: size the operand scratch
-		// buffers for the widest instructions up front.
-		hazardScratch: make([]isa.Reg, 0, 8),
-		defsScratch:   make([]isa.Reg, 0, 8),
+		Cfg:    cfg,
+		Mem:    make([]uint32, cfg.GlobalMemBytes/4),
+		SMs:    make([]*SM, 0, cfg.NumSMs),
+		shards: 1,
 	}
 	// One slab backs every SM's future heap at full capacity so the hot
 	// path never grows a heap slice (the three-index slices keep each
 	// SM's region from appending into its neighbor's).
 	slab := make([]*Warp, cfg.NumSMs*cfg.MaxWarpsPerSM)
 	for i := 0; i < cfg.NumSMs; i++ {
-		sm := &SM{ID: i, Dev: d, candT: math.MaxInt64, candLast: math.MaxInt64}
+		sm := &SM{ID: i, Dev: d, candT: math.MaxInt64, candLast: math.MaxInt64,
+			stats: &d.Stats,
+			// The issue path must not allocate: size the operand scratch
+			// buffers for the widest instructions up front.
+			hazardScratch: make([]isa.Reg, 0, 8),
+			defsScratch:   make([]isa.Reg, 0, 8),
+		}
 		lo, hi := i*cfg.MaxWarpsPerSM, (i+1)*cfg.MaxWarpsPerSM
 		sm.future.ws = slab[lo:lo:hi]
 		d.SMs = append(d.SMs, sm)
@@ -109,6 +126,31 @@ func NewDevice(cfg Config) (*Device, error) {
 
 // Now returns the current simulated cycle.
 func (d *Device) Now() int64 { return d.now }
+
+// SetShards selects how many goroutines the epoch-parallel engine
+// partitions this device's SMs across (see epoch.go). n <= 0 picks an
+// automatic width (GOMAXPROCS capped at NumSMs); explicit values are
+// capped at NumSMs. The shard count is a pure performance knob: every
+// simulation observable — clocks, stats, episode phases, memory,
+// golden outputs — is byte-identical at every width, so it may be
+// changed freely between runs (call it before stepping). One shard, an
+// attached instruction tracer, or the reference scheduler all select
+// the serial engine.
+func (d *Device) SetShards(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > len(d.SMs) {
+		n = len(d.SMs)
+	}
+	if n < 1 {
+		n = 1
+	}
+	d.shards = n
+}
+
+// Shards returns the configured shard count.
+func (d *Device) Shards() int { return d.shards }
 
 // AttachRecorder installs a structured-event recorder; episode, warp and
 // memory-pipeline events are emitted into it with simulated-cycle
@@ -281,6 +323,7 @@ func (d *Device) Launch(spec LaunchSpec) (*Launch, error) {
 		l.blocks = append(l.blocks, bi)
 	}
 	d.launches = append(d.launches, l)
+	d.blocksPending += len(l.blocks)
 	d.dispatch(l)
 	return l, nil
 }
@@ -392,6 +435,7 @@ func (d *Device) dispatch(l *Launch) {
 			d.enqueueReady(w)
 		}
 		l.nextBlock++
+		d.blocksPending--
 	}
 }
 
@@ -462,7 +506,7 @@ func (d *Device) scanBest() (best *Warp, bestSM *SM, bestT int64, err error) {
 				if in == nil {
 					return nil, nil, 0, fmt.Errorf("sim: warp %d ran off the end of its stream (mode %d)", w.ID, w.Mode)
 				}
-				w.candTime = max(w.ReadyAt, w.regReadyAt(d.hazardRegs(in)))
+				w.candTime = max(w.ReadyAt, w.regReadyAt(sm.hazardRegs(in)))
 				w.candValid = true
 			}
 			t := max(sm.issueFree, w.candTime)
@@ -498,25 +542,6 @@ func (d *Device) stepScan(limit int64) (bool, error) {
 	return true, nil
 }
 
-// hazardRegs collects the registers whose in-flight values gate issue of
-// in (RAW via uses, WAW via defs). The scratch slice lives on the Device
-// so independent devices never share state.
-func (d *Device) hazardRegs(in *isa.Instruction) []isa.Reg {
-	d.hazardScratch = d.hazardScratch[:0]
-	d.hazardScratch = in.Uses(d.hazardScratch)
-	d.hazardScratch = in.Defs(d.hazardScratch)
-	return d.hazardScratch
-}
-
-// defRegs collects in's defined registers into a device-owned scratch
-// slice — the issue path runs once per simulated instruction and must
-// not allocate.
-func (d *Device) defRegs(in *isa.Instruction) []isa.Reg {
-	d.defsScratch = d.defsScratch[:0]
-	d.defsScratch = in.Defs(d.defsScratch)
-	return d.defsScratch
-}
-
 // AdvanceTo fast-forwards the clock to cycle (no-op when already past).
 // Use it to wait out in-flight traffic when no warp can issue.
 func (d *Device) AdvanceTo(cycle int64) {
@@ -546,8 +571,51 @@ func (e *BudgetError) Error() string {
 // cycle budget would be exceeded. It returns an error on simulation
 // faults, or a *BudgetError — checked before each step commits — when
 // the next issue would land past d.now+maxCycles at entry.
+//
+// Under the epoch-parallel engine (SetShards > 1), cond is only
+// evaluated between epochs, so it must be a *boundary* condition: one
+// that can first become true at a serially-committed boundary event
+// (episode phase transitions, launch completion, deadlock). Every such
+// condition is exact — the engine serializes the step that flips it.
+// For conditions on the clock itself use RunToCycle / RunUntilBounded,
+// which clamp epochs so the crossing step still commits serially.
 func (d *Device) RunUntil(cond func() bool, maxCycles int64) error {
+	return d.RunUntilBounded(cond, math.MaxInt64, maxCycles)
+}
+
+// RunToCycle runs until the clock reaches at least target (or no
+// progress / budget exceeded, as RunUntil). Equivalent to
+// RunUntil(func() bool { return d.Now() >= target }, maxCycles) on the
+// serial engine, and exact under sharding: epochs are clamped below
+// target so the step that carries the clock across commits serially.
+func (d *Device) RunToCycle(target, maxCycles int64) error {
+	return d.RunUntilBounded(func() bool { return d.now >= target }, target, maxCycles)
+}
+
+// RunUntilBounded is RunUntil for conditions with a time-based
+// component: timeBound must be a cycle no later than the first cycle at
+// which any purely time-dependent term of cond can hold (MaxInt64 when
+// cond is a pure boundary condition). The epoch engine clamps parallel
+// phases below timeBound, so cond is evaluated with the clock stopped
+// exactly where the serial engine would have stopped it.
+func (d *Device) RunUntilBounded(cond func() bool, timeBound, maxCycles int64) error {
+	// Any external condition may observe a single launch completing
+	// while others still run, so the epoch engine must fence endpgms
+	// (condObservesCompletion); only the nil condition and Run's
+	// whole-device form below are exempt.
+	return d.runBounded(cond, timeBound, maxCycles, cond != nil)
+}
+
+// runBounded is the shared run-loop body. condObservesCompletion tells
+// the epoch engine whether cond could first become true at an
+// individual launch's final endpgm while other work keeps running — if
+// so, phases must stop below every possible endpgm so the clock halts
+// exactly where the serial engine's would.
+func (d *Device) runBounded(cond func() bool, timeBound, maxCycles int64, condObservesCompletion bool) error {
 	limit := d.now + maxCycles
+	if d.shards > 1 && !d.scanMode && d.tracer == nil {
+		return d.runEpochs(cond, timeBound, limit, condObservesCompletion)
+	}
 	for {
 		if cond != nil && cond() {
 			return nil
@@ -564,14 +632,18 @@ func (d *Device) RunUntil(cond func() bool, maxCycles int64) error {
 
 // Run executes until all launches complete (or maxCycles).
 func (d *Device) Run(maxCycles int64) error {
-	err := d.RunUntil(func() bool {
+	// The whole-device completion condition first holds only after the
+	// final pop anywhere on the device, so — unlike a per-launch Done
+	// condition — no local pop can be mis-drained past its flip and the
+	// epoch engine may run with unfenced endpgms.
+	err := d.runBounded(func() bool {
 		for _, l := range d.launches {
 			if !l.Done() {
 				return false
 			}
 		}
 		return true
-	}, maxCycles)
+	}, math.MaxInt64, maxCycles, false)
 	if err != nil {
 		return err
 	}

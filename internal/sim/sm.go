@@ -38,6 +38,43 @@ type SM struct {
 	offline bool
 
 	episode *Episode // active preemption episode, if any
+
+	// stats is where this SM's issue path accumulates device counters.
+	// It normally points at Device.Stats; during an epoch-parallel phase
+	// (see epoch.go) it points at the owning shard's private accumulator
+	// so concurrent shards never write the same counters. The sums are
+	// folded back at the phase merge, so totals are interleaving-free.
+	stats *DeviceStats
+
+	// Issue-path operand scratch. Per-SM (not per-Device) so epoch
+	// shards draining different SMs never share a buffer; sized up
+	// front so the hot path never allocates.
+	hazardScratch []isa.Reg
+	defsScratch   []isa.Reg
+
+	// phaseErr holds a scheduling error discovered by enqueueReady
+	// while this SM drains inside an epoch phase (the parallel
+	// counterpart of Device.qerr, which shards must not write). The
+	// phase merge folds it into the run's first-in-issue-order error.
+	phaseErr error
+}
+
+// hazardRegs collects the registers whose in-flight values gate issue of
+// in (RAW via uses, WAW via defs) into the SM-owned scratch slice.
+func (sm *SM) hazardRegs(in *isa.Instruction) []isa.Reg {
+	sm.hazardScratch = sm.hazardScratch[:0]
+	sm.hazardScratch = in.Uses(sm.hazardScratch)
+	sm.hazardScratch = in.Defs(sm.hazardScratch)
+	return sm.hazardScratch
+}
+
+// defRegs collects in's defined registers into the SM-owned scratch
+// slice — the issue path runs once per simulated instruction and must
+// not allocate.
+func (sm *SM) defRegs(in *isa.Instruction) []isa.Reg {
+	sm.defsScratch = sm.defsScratch[:0]
+	sm.defsScratch = in.Defs(sm.defsScratch)
+	return sm.defsScratch
 }
 
 func (sm *SM) residentWarps() int {
@@ -65,7 +102,7 @@ func (sm *SM) accessLDS(start int64, bytes int) int64 {
 	txStart := max(start, sm.ldsFree)
 	dur := int64(float64(bytes)/sm.Dev.Cfg.LDSBytesPerCycle) + 1
 	sm.ldsFree = txStart + dur
-	sm.Dev.Stats.LDSBytes += int64(bytes)
+	sm.stats.LDSBytes += int64(bytes)
 	return txStart + dur + int64(sm.Dev.Cfg.LDSLatency)
 }
 
@@ -102,17 +139,17 @@ func (sm *SM) issue(w *Warp, t int64) error {
 		return err
 	}
 
-	d.Stats.Instructions++
+	sm.stats.Instructions++
 	if tr := d.tracer; tr != nil && (tr.Filter == nil || tr.Filter(w)) {
 		tr.record(TraceEvent{Cycle: t, SM: sm.ID, WarpID: w.ID, Mode: w.Mode, PC: w.PC, Text: in.String()})
 	}
 	switch w.Mode {
 	case ModeKernel:
-		d.Stats.KernelInstrs++
+		sm.stats.KernelInstrs++
 	case ModeHook:
-		d.Stats.HookInstrs++
+		sm.stats.HookInstrs++
 	default:
-		d.Stats.RoutineInstrs++
+		sm.stats.RoutineInstrs++
 	}
 
 	// Timing.
@@ -185,7 +222,7 @@ func (sm *SM) issue(w *Warp, t int64) error {
 		if info.HasDst && in.Dst.Valid() {
 			w.setRegReady(in.Dst, done)
 		}
-		for _, r := range d.defRegs(in) {
+		for _, r := range sm.defRegs(in) {
 			if r != in.Dst {
 				w.setRegReady(r, done)
 			}
