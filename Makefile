@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke procs-diff shards-diff
+.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke procs-diff shards-diff snap-diff
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # tracing pipeline end to end.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/harness/ ./internal/sched/ ./internal/sim/ ./internal/trace/
+	$(GO) test -race ./internal/harness/ ./internal/sched/ ./internal/sim/ ./internal/snapshot/ ./internal/trace/
 	$(MAKE) trace-smoke
 
 # trace-smoke runs one preempted kernel with -trace and validates the
@@ -30,10 +30,29 @@ trace-smoke:
 # eight techniques on the preemptive scheduler and diffs the full report
 # (trace, per-technique stats, per-job tables) against the checked-in
 # golden. Any nondeterminism or unintended stats change fails the diff.
+# The second diff covers the fleet failover report: a two-device run
+# with periodic whole-device checkpoints, a chaos kill, a warm restore
+# (CTXBack) and the rerun fallback (CKPT), down to the decision log and
+# the per-job slab-digest witness.
 sched-smoke:
 	$(GO) run ./cmd/schedsim -quick -seed 9 > /tmp/ctxback-sched-smoke.txt
 	diff -u testdata/sched_smoke.golden /tmp/ctxback-sched-smoke.txt
-	@echo "sched report byte-identical"
+	$(GO) run ./cmd/schedsim -quick -seed 9 -kinds CTXBack,CKPT -devices 2 -checkpoint-every 40000 -kill-device 0@80000 -warm-pool 1 -statehash > /tmp/ctxback-sched-failover.txt
+	diff -u testdata/sched_failover.golden /tmp/ctxback-sched-failover.txt
+	@echo "sched and failover reports byte-identical"
+
+# snap-diff guards failover determinism end to end: the per-job
+# slab-digest state witness must be byte-identical between an
+# undisturbed fleet run, a run whose device 0 is chaos-killed at cycle
+# 80000 (restored from its last whole-device checkpoint), and the same
+# kill restored from the warm context pool.
+snap-diff:
+	$(GO) run ./cmd/schedsim -quick -seed 9 -kinds CTXBack -devices 2 -checkpoint-every 40000 -statehash | grep '^job ' > /tmp/ctxback-snap-base.txt
+	$(GO) run ./cmd/schedsim -quick -seed 9 -kinds CTXBack -devices 2 -checkpoint-every 40000 -kill-device 0@80000 -statehash | grep '^job ' > /tmp/ctxback-snap-kill.txt
+	$(GO) run ./cmd/schedsim -quick -seed 9 -kinds CTXBack -devices 2 -checkpoint-every 40000 -kill-device 0@80000 -warm-pool 1 -statehash | grep '^job ' > /tmp/ctxback-snap-warm.txt
+	diff -u /tmp/ctxback-snap-base.txt /tmp/ctxback-snap-kill.txt
+	diff -u /tmp/ctxback-snap-kill.txt /tmp/ctxback-snap-warm.txt
+	@echo "failover state witness byte-identical: undisturbed vs killed, cold vs warm"
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/core/ ./internal/preempt/

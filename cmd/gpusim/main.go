@@ -8,6 +8,13 @@
 //	gpusim -kernel KM -technique CTXBack -at 0.5
 //	gpusim -kernel KM -technique CTXBack -trace km.trace.json
 //	gpusim -kernel KM -technique CTXBack -faults 0.05 -fault-seed 1
+//	gpusim -kernel KM -technique CTXBack -checkpoint
+//
+// With -checkpoint the parked episode is checkpointed with the WHOLE
+// device (internal/snapshot), the original device is discarded, and the
+// run finishes on a device restored from the snapshot bytes via the
+// speculative path — the deferred validation settles after replay, and
+// the output must still verify against the CPU reference.
 //
 // With -trace FILE the preempted run records structured episode, warp
 // and memory-pipeline events and writes them as Chrome trace-event JSON:
@@ -29,6 +36,7 @@ import (
 	"ctxback/internal/kernels"
 	"ctxback/internal/preempt"
 	"ctxback/internal/sim"
+	"ctxback/internal/snapshot"
 	"ctxback/internal/trace"
 )
 
@@ -46,6 +54,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "SM shards per device: 0 = auto (GOMAXPROCS, capped at the SM count), 1 = serial, n>1 = n goroutines; output is byte-identical at every setting (-tail tracing always runs serially)")
 		faultRate = flag.Float64("faults", 0, "fault-injection rate in [0,1] for the preempted run (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection seed")
+		ckpt      = flag.Bool("checkpoint", false, "checkpoint the whole device at the parked episode and finish the run on a device restored from the snapshot bytes")
 	)
 	flag.Parse()
 
@@ -114,6 +123,12 @@ func main() {
 	if !found {
 		fail(fmt.Errorf("unknown technique %q", *techStr))
 	}
+	if *ckpt && !preempt.Relocatable(kind) {
+		fail(fmt.Errorf("%v episodes do not survive a snapshot trip (technique state is device-resident); pick a relocatable technique", kind))
+	}
+	if *ckpt && (*tracePath != "" || *tailN > 0) {
+		usageErr("-checkpoint discards the original device; -trace and -tail cannot follow it")
+	}
 
 	signal := int64(*at * float64(golden.Now()))
 	faultCfg := faults.Preset(*faultSeed, *faultRate)
@@ -121,7 +136,7 @@ func main() {
 	// Preempted run, possibly under fault injection. A detected fault
 	// (transfer escalation or integrity violation) degrades gracefully:
 	// the episode re-runs fault-free through the BASELINE technique.
-	runErr := runPreempted(cfg, factory, kind, signal, *shards, *faultRate, faultCfg, *tailN, *tracePath)
+	runErr := runPreempted(cfg, factory, kind, signal, *shards, *faultRate, faultCfg, *tailN, *tracePath, *ckpt)
 	if runErr == nil {
 		return
 	}
@@ -132,7 +147,7 @@ func main() {
 	}
 	fmt.Printf("fault detected in-band: %v\n", runErr)
 	fmt.Println("degrading: re-running the episode fault-free through BASELINE")
-	if err := runPreempted(cfg, factory, preempt.Baseline, signal, *shards, 0, faults.Config{}, 0, ""); err != nil {
+	if err := runPreempted(cfg, factory, preempt.Baseline, signal, *shards, 0, faults.Config{}, 0, "", false); err != nil {
 		fail(fmt.Errorf("BASELINE fallback failed: %w", err))
 	}
 }
@@ -143,7 +158,8 @@ func main() {
 // A non-empty tracePath attaches an event recorder to the device and
 // writes the episode timeline as Chrome trace-event JSON after the run.
 func runPreempted(cfg sim.Config, factory func() *kernels.Workload, kind preempt.Kind,
-	signal int64, shards int, faultRate float64, faultCfg faults.Config, tail int, tracePath string) error {
+	signal int64, shards int, faultRate float64, faultCfg faults.Config, tail int,
+	tracePath string, checkpoint bool) error {
 	wl := factory()
 	tech, err := preempt.New(kind, wl.Prog)
 	if err != nil {
@@ -193,6 +209,29 @@ func runPreempted(cfg sim.Config, factory func() *kernels.Workload, kind preempt
 	fmt.Printf("preempted SM 0 at cycle %d with %v: %d warps, latency %d cycles (%.2f us), %d context bytes\n",
 		signal, kind, len(ep.Victims), ep.PreemptLatencyCycles(),
 		cfg.CyclesToMicros(ep.PreemptLatencyCycles()), ep.SavedBytes())
+	var validate func() error
+	if checkpoint {
+		wl2 := factory()
+		_, enc := snapshot.Capture(d, 1)
+		tech2, err := preempt.New(kind, wl2.Prog)
+		if err != nil {
+			return err
+		}
+		res, err := snapshot.Restore(nil, enc, enc, 1, tech2, wl2.Prog)
+		if err != nil {
+			return err
+		}
+		if len(res.Index.Episodes) != 1 {
+			return fmt.Errorf("restored %d episodes, want 1", len(res.Index.Episodes))
+		}
+		path := "synchronous"
+		if res.Outcome.Speculative {
+			path = "speculative"
+		}
+		fmt.Printf("checkpointed whole device (%d bytes) and restored it onto a cold shell (%s path): setup %d + transfer %d cycles\n",
+			len(enc), path, res.Outcome.SetupCycles, res.Outcome.TransferCycles)
+		d, ep, wl, validate = res.Device, res.Index.Episodes[0], wl2, res.Validate
+	}
 	if err := d.Resume(ep); err != nil {
 		return err
 	}
@@ -203,6 +242,12 @@ func runPreempted(cfg sim.Config, factory func() *kernels.Workload, kind preempt
 		ep.ResumeCycles(), cfg.CyclesToMicros(ep.ResumeCycles()))
 	if err := d.Run(1 << 40); err != nil {
 		return err
+	}
+	if validate != nil {
+		if err := validate(); err != nil {
+			return fmt.Errorf("speculative restore failed deferred validation: %w", err)
+		}
+		fmt.Println("speculative restore validated: deferred memory checksum matches")
 	}
 	if err := wl.Verify(d); err != nil {
 		return fmt.Errorf("preempted run failed verification: %w", err)

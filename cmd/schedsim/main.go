@@ -8,6 +8,8 @@
 //	         [-sms N] [-iters N] [-kinds all|paper|K1,K2,...]
 //	         [-quick] [-procs N] [-shards N] [-verify=false] [-metrics]
 //	         [-events]
+//	         [-devices N] [-checkpoint-every N] [-kill-device ID@CYCLE]
+//	         [-warm-pool N] [-statehash]
 //
 // The trace (who arrives when, with which kernel and priority) is a
 // pure function of the flags, and each technique's run is a
@@ -19,12 +21,23 @@
 //
 // -events appends each technique's scheduling decision log (arrivals,
 // preemptions, parks, resumes, completions with cycle stamps).
+//
+// Any of -devices, -checkpoint-every, -kill-device, -warm-pool or
+// -statehash switches to FLEET mode: the trace is partitioned across
+// -devices simulated GPUs, every device is checkpointed whole
+// (internal/snapshot) on the -checkpoint-every cadence, and
+// -kill-device ID@CYCLE chaos-kills one device mid-run — its jobs
+// restore from the last checkpoint (warm from the -warm-pool when one
+// is configured) or re-admit to the survivors. -statehash appends the
+// per-job slab-digest witness, which is byte-identical between a killed
+// and an undisturbed run of the same trace.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"ctxback/internal/harness"
@@ -83,6 +96,12 @@ func main() {
 		verify  = flag.Bool("verify", true, "check every job's output against its CPU golden reference")
 		metrics = flag.Bool("metrics", false, "append per-tenant counters and latency histograms")
 		events  = flag.Bool("events", false, "append each technique's scheduling decision log")
+
+		devices   = flag.Int("devices", 0, "fleet mode: partition the trace across N devices (0 = single-device comparison)")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "fleet mode: whole-device checkpoint cadence in cycles (0 = no checkpoints)")
+		killSpec  = flag.String("kill-device", "", "fleet mode: chaos-kill device ID at CYCLE, as ID@CYCLE (e.g. 0@80000)")
+		warmPool  = flag.Int("warm-pool", 0, "fleet mode: pre-built device shells kept warm for restores")
+		statehash = flag.Bool("statehash", false, "fleet mode: append the per-job slab-digest state witness")
 	)
 	flag.Parse()
 
@@ -103,6 +122,43 @@ func main() {
 	}
 	if *shards < 0 {
 		usageErr("-shards must be >= 0, got %d", *shards)
+	}
+	if *devices < 0 {
+		usageErr("-devices must be >= 0, got %d", *devices)
+	}
+	if *ckptEvery < 0 {
+		usageErr("-checkpoint-every must be >= 0, got %d", *ckptEvery)
+	}
+	if *warmPool < 0 {
+		usageErr("-warm-pool must be >= 0, got %d", *warmPool)
+	}
+	fleet := *devices > 0 || *ckptEvery > 0 || *killSpec != "" || *warmPool > 0 || *statehash
+	fo := sched.FailoverConfig{
+		Devices:         *devices,
+		CheckpointEvery: *ckptEvery,
+		KillDevice:      -1,
+		WarmPool:        *warmPool,
+	}
+	if fo.Devices == 0 {
+		fo.Devices = 2
+	}
+	if *killSpec != "" {
+		idS, cycS, ok := strings.Cut(*killSpec, "@")
+		if !ok {
+			usageErr("-kill-device wants ID@CYCLE, got %q", *killSpec)
+		}
+		id, err1 := strconv.Atoi(idS)
+		cyc, err2 := strconv.ParseInt(cycS, 10, 64)
+		if err1 != nil || err2 != nil {
+			usageErr("-kill-device wants ID@CYCLE, got %q", *killSpec)
+		}
+		if id < 0 || id >= fo.Devices {
+			usageErr("-kill-device id %d out of range (fleet has %d devices)", id, fo.Devices)
+		}
+		if cyc <= 0 {
+			usageErr("-kill-device cycle must be positive, got %d", cyc)
+		}
+		fo.KillDevice, fo.KillCycle = id, cyc
 	}
 	kinds, err := parseKinds(*kindsF)
 	if err != nil {
@@ -128,6 +184,31 @@ func main() {
 	sc.Shards = *shards
 	if *metrics {
 		sc.Metrics = trace.NewRegistry()
+	}
+
+	if fleet {
+		jobs, err := sched.GenTrace(tc)
+		if err != nil {
+			fail(err)
+		}
+		for i, k := range kinds {
+			if i > 0 {
+				fmt.Println()
+			}
+			fr, err := sched.RunFleet(sc, k, jobs, fo)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(fr.Render())
+			if *statehash {
+				fmt.Print(fr.StateHash())
+			}
+		}
+		if *metrics {
+			fmt.Println()
+			fmt.Println(sc.Metrics.Render())
+		}
+		return
 	}
 
 	o := harness.QuickOptions()

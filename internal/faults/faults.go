@@ -53,6 +53,11 @@ const (
 	SiteSignalDrop
 	SiteSignalDup
 	SiteStall
+	// Snapshot-image faults: corruption of an encoded whole-device
+	// checkpoint between capture and restore (internal/snapshot).
+	SiteSnapTruncate
+	SiteSnapFlip
+	SiteSnapStale
 	numSites
 )
 
@@ -87,6 +92,17 @@ type Config struct {
 	StallRate   float64
 	StallCycles int
 
+	// SnapTruncateRate / SnapFlipRate / SnapStaleRate are the per-restore
+	// probabilities that the snapshot stream a speculative restore reads
+	// is cut short, takes a bit flip, or is a stale image from an earlier
+	// checkpoint epoch. They corrupt only the speculative copy — the
+	// authoritative image a synchronous re-restore reads is separate —
+	// so every snapshot fault is detectable and recoverable by design;
+	// the chaos sweep's job is to show the detection actually fires.
+	SnapTruncateRate float64
+	SnapFlipRate     float64
+	SnapStaleRate    float64
+
 	// MaxRetries bounds the retry-with-backoff recovery of transient
 	// transfer faults; after MaxRetries failed retries the fault
 	// escalates to a structured error. BackoffCycles is the per-attempt
@@ -114,6 +130,9 @@ func (c *Config) Validate() error {
 		{"SignalDropRate", c.SignalDropRate},
 		{"SignalDupRate", c.SignalDupRate},
 		{"StallRate", c.StallRate},
+		{"SnapTruncateRate", c.SnapTruncateRate},
+		{"SnapFlipRate", c.SnapFlipRate},
+		{"SnapStaleRate", c.SnapStaleRate},
 	}
 	for _, r := range rates {
 		if math.IsNaN(r.v) || r.v < 0 || r.v > 1 {
@@ -135,7 +154,13 @@ func (c *Config) Validate() error {
 // Enabled reports whether any fault site can fire.
 func (c Config) Enabled() bool {
 	return c.CtxSaveFailRate > 0 || c.CtxRestoreFailRate > 0 || c.CorruptRate > 0 ||
-		c.SignalDropRate > 0 || c.SignalDupRate > 0 || c.StallRate > 0
+		c.SignalDropRate > 0 || c.SignalDupRate > 0 || c.StallRate > 0 ||
+		c.SnapEnabled()
+}
+
+// SnapEnabled reports whether any snapshot-image fault site can fire.
+func (c Config) SnapEnabled() bool {
+	return c.SnapTruncateRate > 0 || c.SnapFlipRate > 0 || c.SnapStaleRate > 0
 }
 
 // Preset returns a Config exercising every fault site at rate, with the
@@ -152,6 +177,9 @@ func Preset(seed uint64, rate float64) Config {
 		SignalDupRate:      rate,
 		StallRate:          rate,
 		StallCycles:        40,
+		SnapTruncateRate:   rate,
+		SnapFlipRate:       rate,
+		SnapStaleRate:      rate,
 		MaxRetries:         3,
 		BackoffCycles:      8,
 	}
@@ -167,13 +195,17 @@ type Stats struct {
 	DroppedSignals         int
 	DupSignals             int
 	Stalls                 int
+	TruncatedSnapshots     int
+	FlippedSnapshots       int
+	StaleSnapshots         int
 }
 
 // Total is the number of faults injected across all sites.
 func (s Stats) Total() int {
 	return s.TransientSaveFaults + s.PermanentSaveFaults +
 		s.TransientRestoreFaults + s.PermanentRestoreFaults +
-		s.CorruptedContexts + s.DroppedSignals + s.DupSignals + s.Stalls
+		s.CorruptedContexts + s.DroppedSignals + s.DupSignals + s.Stalls +
+		s.TruncatedSnapshots + s.FlippedSnapshots + s.StaleSnapshots
 }
 
 // Injector draws fault decisions from per-(site, id) streams. It is not
@@ -323,3 +355,56 @@ func (in *Injector) Stall() int64 {
 
 // ChecksumEnabled reports whether save-time context checksums are on.
 func (in *Injector) ChecksumEnabled() bool { return !in.cfg.DisableChecksum }
+
+// SnapFault classifies an injected snapshot-image fault.
+type SnapFault uint8
+
+const (
+	// SnapNone: the snapshot stream arrives intact.
+	SnapNone SnapFault = iota
+	// SnapTruncate: the stream is cut short mid-section.
+	SnapTruncate
+	// SnapFlip: one bit of the stream is flipped.
+	SnapFlip
+	// SnapStale: the stream carries an image from an earlier checkpoint
+	// epoch than the restore expects.
+	SnapStale
+)
+
+func (f SnapFault) String() string {
+	switch f {
+	case SnapNone:
+		return "none"
+	case SnapTruncate:
+		return "truncated"
+	case SnapFlip:
+		return "bit-flip"
+	case SnapStale:
+		return "stale-epoch"
+	}
+	return fmt.Sprintf("SnapFault(%d)", uint8(f))
+}
+
+// SnapshotFault decides whether restore attempt snapID's speculative
+// stream is corrupted, and how. The three sites draw independently
+// (enabling one never perturbs another's schedule); when several fire
+// on the same attempt the most structurally destructive wins
+// (truncate > flip > stale). The returned raw value is the winning
+// site's draw — callers derive deterministic corruption offsets from
+// it so the whole chaos schedule replays from the seed.
+func (in *Injector) SnapshotFault(snapID int) (SnapFault, uint64) {
+	id := uint64(snapID)
+	if raw := in.draw(SiteSnapTruncate, id); chance(raw, in.cfg.SnapTruncateRate) {
+		in.stats.TruncatedSnapshots++
+		return SnapTruncate, raw
+	}
+	if raw := in.draw(SiteSnapFlip, id); chance(raw, in.cfg.SnapFlipRate) {
+		in.stats.FlippedSnapshots++
+		return SnapFlip, raw
+	}
+	if raw := in.draw(SiteSnapStale, id); chance(raw, in.cfg.SnapStaleRate) {
+		in.stats.StaleSnapshots++
+		return SnapStale, raw
+	}
+	return SnapNone, 0
+}

@@ -157,3 +157,64 @@ func TestDeriveSeedIndependence(t *testing.T) {
 		t.Fatal("DeriveSeed is not a pure function")
 	}
 }
+
+// TestSnapshotFaultDeterminism: the snapshot fault schedule replays
+// exactly from the seed, fires every class at high rates, and stays
+// silent at zero — and its draws never perturb the other sites'
+// streams (independent per-site keys).
+func TestSnapshotFaultDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, SnapTruncateRate: 0.3, SnapFlipRate: 0.3, SnapStaleRate: 0.3}
+	if !cfg.Enabled() || !cfg.SnapEnabled() {
+		t.Fatal("snapshot-only config should report enabled")
+	}
+	seen := map[SnapFault]int{}
+	var first []SnapFault
+	for run := 0; run < 2; run++ {
+		in, err := NewInjector(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			f, raw := in.SnapshotFault(i)
+			if f != SnapNone && raw == 0 {
+				t.Fatal("fired fault with zero raw draw")
+			}
+			if run == 0 {
+				first = append(first, f)
+				seen[f]++
+			} else if first[i] != f {
+				t.Fatalf("run 2 snapshot %d drew %v, run 1 drew %v", i, f, first[i])
+			}
+		}
+		st := in.Stats()
+		if st.TruncatedSnapshots+st.FlippedSnapshots+st.StaleSnapshots != st.Total() {
+			t.Fatal("snapshot fault stats not counted in Total")
+		}
+	}
+	for _, f := range []SnapFault{SnapTruncate, SnapFlip, SnapStale} {
+		if seen[f] == 0 {
+			t.Errorf("fault class %v never fired at rate 0.3 over 200 draws", f)
+		}
+	}
+
+	quiet, err := NewInjector(Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if f, _ := quiet.SnapshotFault(i); f != SnapNone {
+			t.Fatal("zero rates fired a snapshot fault")
+		}
+	}
+
+	// Independence: enabling snapshot faults must not change the context
+	// transfer schedule drawn from the same seed.
+	a, _ := NewInjector(Config{Seed: 7, CtxSaveFailRate: 0.5})
+	b, _ := NewInjector(Config{Seed: 7, CtxSaveFailRate: 0.5, SnapFlipRate: 1})
+	for i := 0; i < 100; i++ {
+		b.SnapshotFault(i)
+		if a.CtxTransferFault(i%4, true) != b.CtxTransferFault(i%4, true) {
+			t.Fatalf("snapshot draws perturbed the ctx-save stream at %d", i)
+		}
+	}
+}

@@ -32,6 +32,12 @@ import (
 //     techniques that resume exactly at the signal point are swept in
 //     this mode (BASELINE, LIVE, CTXBack) — re-executing or deferring
 //     techniques resume elsewhere, where the snapshot cannot be diffed.
+//   - mode "snapshot": the parked episode is whole-device checkpointed
+//     (internal/snapshot) and the speculative restore copy is corrupted
+//     — truncated, bit-flipped, or re-stamped with a stale epoch. The
+//     section checksums, epoch check, deferred memory validation and
+//     the resume-integrity oracle must between them catch every class;
+//     recovery re-restores from the authoritative image in-episode.
 //
 // Degradation: a detected fault abandons the device and re-runs the
 // whole episode through BASELINE — first with a salted fault seed (the
@@ -93,6 +99,12 @@ type ChaosOptions struct {
 	// OracleKinds are the techniques swept with checksums disabled,
 	// relying on the resume-integrity oracle alone.
 	OracleKinds []preempt.Kind
+	// SnapshotKinds are the techniques swept in snapshot mode: the
+	// parked episode is whole-device checkpointed, the speculative copy
+	// corrupted (truncated, bit-flipped, stale epoch), and the job must
+	// finish exactly on a restored device. Only relocatable techniques
+	// (preempt.Relocatable) survive a snapshot trip.
+	SnapshotKinds []preempt.Kind
 	// SignalFrac places the preemption signal as a fraction of the
 	// golden run.
 	SignalFrac float64
@@ -110,6 +122,7 @@ func DefaultChaosOptions() ChaosOptions {
 		Rates:             []float64{0.02, 0.2},
 		Kinds:             preempt.Kinds(),
 		OracleKinds:       []preempt.Kind{preempt.Baseline, preempt.Live, preempt.CTXBack},
+		SnapshotKinds:     preempt.RelocatableKinds(),
 		SignalFrac:        0.5,
 		MaxSignalAttempts: 8,
 		FallbackSalt:      0xFA11BACC,
@@ -118,7 +131,7 @@ func DefaultChaosOptions() ChaosOptions {
 
 // ChaosCell is one (mode, rate, kernel, technique) episode of the sweep.
 type ChaosCell struct {
-	Mode    string // "checksum" or "oracle"
+	Mode    string // "checksum", "oracle" or "snapshot"
 	Rate    float64
 	Kernel  string
 	Kind    preempt.Kind
@@ -126,8 +139,12 @@ type ChaosCell struct {
 	// Skipped: the sampled SM drained before the signal; nothing to
 	// preempt (the uninterrupted remainder still verified).
 	Skipped bool
-	// Detected is the in-band detection that triggered degradation.
+	// Detected is the in-band detection that triggered degradation (or,
+	// in snapshot mode, the in-episode recovery).
 	Detected string
+	// SnapFault is the injected snapshot-corruption class drawn in mode
+	// "snapshot" ("" elsewhere).
+	SnapFault string
 	// Absorbed recovery work inside the (first) episode.
 	Retries     int
 	ReRaised    int
@@ -424,10 +441,24 @@ func (r *Runner) Chaos(co ChaosOptions) (*ChaosReport, error) {
 					Kernel: rep.Kernels[ki], Kind: kind})
 				cfgs = append(cfgs, cellCfg{fcfg: fc, checker: oracles[ki], ki: ki})
 			}
+			for kj, kind := range co.SnapshotKinds {
+				fc := faults.Config{
+					Seed:             chaosCellSeed(co.Seed, 2, ri, ki, kj),
+					SnapTruncateRate: rate,
+					SnapFlipRate:     rate,
+					SnapStaleRate:    rate,
+				}
+				rep.Cells = append(rep.Cells, ChaosCell{Mode: "snapshot", Rate: rate,
+					Kernel: rep.Kernels[ki], Kind: kind})
+				cfgs = append(cfgs, cellCfg{fcfg: fc, checker: oracles[ki], ki: ki})
+			}
 		}
 	}
 
 	if err := r.runJobs(len(rep.Cells), func(i int) error {
+		if rep.Cells[i].Mode == "snapshot" {
+			return r.runSnapshotCell(co, r.prep[cfgs[i].ki].p, &rep.Cells[i], cfgs[i].fcfg, cfgs[i].checker)
+		}
 		return r.runChaosCell(co, r.prep[cfgs[i].ki].p, &rep.Cells[i], cfgs[i].fcfg, cfgs[i].checker)
 	}); err != nil {
 		return nil, err

@@ -188,3 +188,45 @@ func TestChaosForcedFallbackEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosSnapshotMode sweeps only the snapshot-corruption cells at a
+// rate high enough that every fault class fires somewhere: zero
+// silent-wrong, zero unrecoverable, and at least one cell recovered
+// in-episode through the authoritative image.
+func TestChaosSnapshotMode(t *testing.T) {
+	co := DefaultChaosOptions()
+	co.Rates = []float64{0.6}
+	co.Kinds = nil
+	co.OracleKinds = nil
+	rep, err := NewRunner(QuickOptions()).Chaos(co)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if c.Mode != "snapshot" {
+			t.Fatalf("unexpected mode %q in snapshot-only sweep", c.Mode)
+		}
+		if c.Outcome == ChaosSilentWrong || c.Outcome == ChaosUnrecoverable {
+			t.Errorf("%s/%v snapfault=%s: outcome %v (detected: %s)",
+				c.Kernel, c.Kind, c.SnapFault, c.Outcome, c.Detected)
+		}
+		if c.SnapFault == "none" && !c.Skipped && c.Outcome != ChaosClean {
+			t.Errorf("%s/%v: no fault drawn but outcome %v", c.Kernel, c.Kind, c.Outcome)
+		}
+		if c.SnapFault != "none" && c.SnapFault != "" && !c.Skipped && c.Outcome != ChaosRecovered {
+			t.Errorf("%s/%v snapfault=%s: want recovered, got %v", c.Kernel, c.Kind, c.SnapFault, c.Outcome)
+		}
+	}
+	if rep.Counts[ChaosRecovered] == 0 {
+		t.Error("no snapshot fault recovered; raise the rate")
+	}
+	fired := map[string]bool{}
+	for _, c := range rep.Cells {
+		fired[c.SnapFault] = true
+	}
+	for _, class := range []string{"truncated", "bit-flip", "stale-epoch"} {
+		if !fired[class] {
+			t.Errorf("fault class %s never drawn across the sweep", class)
+		}
+	}
+}

@@ -176,6 +176,34 @@ func (r *reader) u8() uint8   { return r.bytes(1)[0] }
 func (r *reader) u16() uint16 { return binary.LittleEndian.Uint16(r.bytes(2)) }
 func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
 
+// DecodeRoutine parses an EncodeRoutine buffer back into a bare
+// instruction sequence. Inverse of EncodeRoutine: device snapshots use
+// the pair to round-trip the routine stream of a warp captured mid
+// preemption or resume.
+func DecodeRoutine(data []byte) ([]Instruction, error) {
+	r := &reader{data: data}
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("isa: implausible routine length %d", n)
+	}
+	instrs := make([]Instruction, n)
+	for i := 0; i < n; i++ {
+		if err := readInstr(r, &instrs[i]); err != nil {
+			return nil, fmt.Errorf("isa: routine instr %d: %w", i, err)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("isa: %d trailing bytes after routine", len(data)-r.off)
+	}
+	return instrs, nil
+}
+
 // RoutineBytes returns the device-memory footprint of a routine when
 // transferred (paper §IV-A's storage-cost accounting).
 func RoutineBytes(instrs []Instruction) int { return 4 + len(instrs)*InstrWordBytes }

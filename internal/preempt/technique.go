@@ -72,6 +72,34 @@ func ExtendedKinds() []Kind {
 	return append(Kinds(), SMFlush, Chimera)
 }
 
+// Relocatable reports whether kind's runtime keeps all per-warp mutable
+// state inside the device (so a whole-device snapshot captures it and a
+// FRESH technique instance compiled from the same program can drive the
+// restored device). CKPT keeps last-checkpoint buffers and SM-flushing
+// (and Chimera, which wraps it) keeps flush-entry aliases in the
+// technique object itself — those buffers alias live SavedContexts the
+// snapshot cannot re-link, so their jobs fail over by deterministic
+// re-run instead of context flashback.
+func Relocatable(kind Kind) bool {
+	switch kind {
+	case Baseline, Live, CSDefer, CTXBack, Combined:
+		return true
+	}
+	return false
+}
+
+// RelocatableKinds lists the techniques whose episodes survive a
+// snapshot/restore trip, in presentation order.
+func RelocatableKinds() []Kind {
+	var out []Kind
+	for _, k := range ExtendedKinds() {
+		if Relocatable(k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 // Technique is a compiled preemption mechanism for one kernel. A
 // Technique carries per-run state (CKPT snapshots); construct a fresh one
 // per simulation run.

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"sync"
 
+	"ctxback/internal/isa"
 	"ctxback/internal/kernels"
 	"ctxback/internal/preempt"
 	"ctxback/internal/sim"
@@ -184,6 +185,13 @@ type runJob struct {
 	launch *sim.Launch
 	sm     int
 
+	// admitAt is the cycle the scheduler first considers the job: the
+	// trace arrival normally, the failover instant for a job re-admitted
+	// to a surviving device after its original device was killed.
+	// Queueing and turnaround statistics always measure from the
+	// original Job.Arrival.
+	admitAt int64
+
 	started  bool
 	start    int64 // first placement cycle
 	complete int64
@@ -206,10 +214,21 @@ type scheduler struct {
 	mux  *muxRuntime
 	kind preempt.Kind
 
-	jobs    []*runJob // arrival order
+	jobs    []*runJob // admission order
 	slots   []*smSlot
 	waiting []*runJob
 	nextArr int
+
+	// progOrder lists the distinct programs in first-launch order —
+	// exactly the order sim.ExportState serializes them, so a checkpoint
+	// of this device restores against progOrder positionally.
+	progOrder []*isa.Program
+	progSeen  map[*isa.Program]bool
+
+	// onComplete, when set, observes every job completion on this
+	// scheduler's device (the fleet layer copies results host-side at
+	// this point, so a later device kill cannot lose delivered output).
+	onComplete func(*runJob)
 
 	events []Event
 	nDone  int
@@ -220,7 +239,7 @@ type scheduler struct {
 // deterministic simulation: no goroutines, no map-order dependence, no
 // wall-clock input.
 func Run(cfg Config, kind preempt.Kind, jobs []Job) (*Result, error) {
-	s, err := newScheduler(cfg, kind, jobs)
+	s, err := newScheduler(cfg, kind, jobs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -230,21 +249,41 @@ func Run(cfg Config, kind preempt.Kind, jobs []Job) (*Result, error) {
 	return s.result()
 }
 
-func newScheduler(cfg Config, kind preempt.Kind, jobs []Job) (*scheduler, error) {
+const slabBase = 4096
+
+// slabIndex resolves a job's memory-slab index: its position in this
+// scheduler's admission order by default, or the fleet-wide index from
+// slabOf — a fleet assigns every job a GLOBAL slab index so a job keeps
+// the same device addresses wherever failover re-admits it (kernel
+// output depends on MemBase, so a stable slab is what makes the
+// failover run's final memory byte-comparable to the undisturbed run).
+func slabIndex(slabOf map[int]int, jobID, pos int) int {
+	if slabOf == nil {
+		return pos
+	}
+	return slabOf[jobID]
+}
+
+func newScheduler(cfg Config, kind preempt.Kind, jobs []Job, slabOf map[int]int) (*scheduler, error) {
 	if len(jobs) == 0 {
 		return nil, errors.New("sched: empty trace")
 	}
 	if cfg.MaxCycles <= 0 {
 		cfg.MaxCycles = 2_000_000_000
 	}
-	const slabBase = 4096
 	if cfg.SlabBytes <= 0 {
 		cfg.SlabBytes = (cfg.Dev.GlobalMemBytes - slabBase) / len(jobs)
 		cfg.SlabBytes -= cfg.SlabBytes % 4096
 	}
-	if slabBase+len(jobs)*cfg.SlabBytes > cfg.Dev.GlobalMemBytes {
-		return nil, fmt.Errorf("sched: %d jobs x %d-byte slabs exceed device memory (%d bytes)",
-			len(jobs), cfg.SlabBytes, cfg.Dev.GlobalMemBytes)
+	maxIdx := 0
+	for i, j := range jobs {
+		if idx := slabIndex(slabOf, j.ID, i); idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	if slabBase+(maxIdx+1)*cfg.SlabBytes > cfg.Dev.GlobalMemBytes {
+		return nil, fmt.Errorf("sched: slab index %d x %d-byte slabs exceed device memory (%d bytes)",
+			maxIdx, cfg.SlabBytes, cfg.Dev.GlobalMemBytes)
 	}
 	d, err := sim.NewDevice(cfg.Dev)
 	if err != nil {
@@ -253,7 +292,8 @@ func newScheduler(cfg Config, kind preempt.Kind, jobs []Job) (*scheduler, error)
 	if cfg.Shards != 0 {
 		d.SetShards(cfg.Shards)
 	}
-	s := &scheduler{cfg: cfg, d: d, mux: newMux(kind), kind: kind}
+	s := &scheduler{cfg: cfg, d: d, mux: newMux(kind), kind: kind,
+		progSeen: make(map[*isa.Program]bool)}
 	// Jobs are admitted in (arrival, ID) order; ties resolve by ID so
 	// simultaneous arrivals admit deterministically.
 	ordered := append([]Job(nil), jobs...)
@@ -265,7 +305,7 @@ func newScheduler(cfg Config, kind preempt.Kind, jobs []Job) (*scheduler, error)
 	})
 	for i, j := range ordered {
 		p := cfg.Params
-		p.MemBase = slabBase + i*cfg.SlabBytes
+		p.MemBase = slabBase + slabIndex(slabOf, j.ID, i)*cfg.SlabBytes
 		wl, err := kernels.ByAbbrev(j.Kernel, p)
 		if err != nil {
 			return nil, fmt.Errorf("sched: job %d: %w", j.ID, err)
@@ -288,7 +328,7 @@ func newScheduler(cfg Config, kind preempt.Kind, jobs []Job) (*scheduler, error)
 			return nil, fmt.Errorf("sched: job %d (%s) under %v: %w", j.ID, j.Kernel, kind, err)
 		}
 		s.mux.add(wl.Prog, tech)
-		s.jobs = append(s.jobs, &runJob{job: j, wl: wl, sm: -1})
+		s.jobs = append(s.jobs, &runJob{job: j, wl: wl, sm: -1, admitAt: j.Arrival})
 	}
 	d.AttachRuntime(s.mux)
 	for i := 0; i < cfg.Dev.NumSMs; i++ {
@@ -301,23 +341,46 @@ func (s *scheduler) log(cycle int64, what string, job, sm int) {
 	s.events = append(s.events, Event{Cycle: cycle, What: what, Job: job, SM: sm})
 }
 
-// run drives the event loop: admit arrivals, poll episode/launch
-// transitions, assign freed SMs, then step the simulator to the next
-// event (or fast-forward an idle device to the next arrival).
+// run drives the whole schedule to completion and verifies it.
 func (s *scheduler) run() error {
+	done, err := s.runTo(math.MaxInt64)
+	if err != nil {
+		return err
+	}
+	if !done {
+		return fmt.Errorf("sched: run paused at cycle %d with %d/%d jobs complete",
+			s.d.Now(), s.nDone, len(s.jobs))
+	}
+	return s.verify()
+}
+
+// runTo drives the event loop — admit arrivals, poll episode/launch
+// transitions, assign freed SMs, then step the simulator to the next
+// event (or fast-forward an idle device to the next arrival) — until
+// every job completes (true) or the clock reaches stop (false), the
+// fleet's checkpoint/kill boundary. The pause is a plain observation
+// point: warps may be mid-flight, mid-save or parked, exactly what a
+// whole-device snapshot must capture. At stop=MaxInt64 the pause terms
+// never fire and the loop is the original whole-run loop, byte for
+// byte — the sched-smoke golden pins that.
+func (s *scheduler) runTo(stop int64) (bool, error) {
+	cond := s.eventReady
+	if stop != math.MaxInt64 {
+		cond = func() bool { return s.d.Now() >= stop || s.eventReady() }
+	}
 	for {
 		for {
 			changed, err := s.admitArrivals()
 			if err != nil {
-				return err
+				return false, err
 			}
 			if c, err := s.pollTransitions(); err != nil {
-				return err
+				return false, err
 			} else if c {
 				changed = true
 			}
 			if c, err := s.assignIdle(); err != nil {
-				return err
+				return false, err
 			} else if c {
 				changed = true
 			}
@@ -326,42 +389,57 @@ func (s *scheduler) run() error {
 			}
 		}
 		if s.nDone == len(s.jobs) {
-			return s.verify()
+			return true, nil
+		}
+		if s.d.Now() >= stop {
+			return false, nil
 		}
 		// eventReady is a boundary condition except for its arrival
 		// term, whose earliest firing cycle is known exactly — passing
-		// it as the time bound keeps the epoch engine byte-identical to
-		// the serial one (the arrival-crossing step commits serially).
+		// it (clamped to the pause cycle) as the time bound keeps the
+		// epoch engine byte-identical to the serial one (the
+		// arrival-crossing step commits serially).
 		nextArrival := int64(math.MaxInt64)
 		if s.nextArr < len(s.jobs) {
-			nextArrival = s.jobs[s.nextArr].job.Arrival
+			nextArrival = s.jobs[s.nextArr].admitAt
 		}
-		if err := s.d.RunUntilBounded(s.eventReady, nextArrival, s.cfg.MaxCycles); err != nil {
-			return err
+		bound := nextArrival
+		if stop < bound {
+			bound = stop
+		}
+		if err := s.d.RunUntilBounded(cond, bound, s.cfg.MaxCycles); err != nil {
+			return false, err
 		}
 		if s.eventReady() {
 			continue
 		}
+		if s.d.Now() >= stop {
+			return false, nil
+		}
 		// The device cannot make progress and no transition is ready:
 		// everything is either parked or not yet arrived.
 		if s.nextArr < len(s.jobs) {
-			s.d.AdvanceTo(s.jobs[s.nextArr].job.Arrival)
+			adv := s.jobs[s.nextArr].admitAt
+			if stop < adv {
+				adv = stop
+			}
+			s.d.AdvanceTo(adv)
 			continue
 		}
 		// The ready queue's O(1) head peek distinguishes a truly empty
 		// device from an indexed issue that never became runnable (which
 		// would indicate a scheduler bug, not a workload deadlock).
 		if next, ok := s.d.NextIssueTime(); ok {
-			return fmt.Errorf("sched: deadlock at cycle %d: %d/%d jobs complete, next indexed issue at cycle %d never ran",
+			return false, fmt.Errorf("sched: deadlock at cycle %d: %d/%d jobs complete, next indexed issue at cycle %d never ran",
 				s.d.Now(), s.nDone, len(s.jobs), next)
 		}
-		return fmt.Errorf("sched: deadlock at cycle %d: %d/%d jobs complete, nothing runnable (no pending issue indexed)",
+		return false, fmt.Errorf("sched: deadlock at cycle %d: %d/%d jobs complete, nothing runnable (no pending issue indexed)",
 			s.d.Now(), s.nDone, len(s.jobs))
 	}
 }
 
 func (s *scheduler) eventReady() bool {
-	if s.nextArr < len(s.jobs) && s.d.Now() >= s.jobs[s.nextArr].job.Arrival {
+	if s.nextArr < len(s.jobs) && s.d.Now() >= s.jobs[s.nextArr].admitAt {
 		return true
 	}
 	for _, sl := range s.slots {
@@ -383,16 +461,16 @@ func (s *scheduler) eventReady() bool {
 	return false
 }
 
-// admitArrivals admits every job whose arrival cycle has passed: place
-// on an idle SM, else preempt the lowest-priority strictly-lower
+// admitArrivals admits every job whose admission cycle has passed:
+// place on an idle SM, else preempt the lowest-priority strictly-lower
 // running job, else queue.
 func (s *scheduler) admitArrivals() (bool, error) {
 	changed := false
-	for s.nextArr < len(s.jobs) && s.jobs[s.nextArr].job.Arrival <= s.d.Now() {
+	for s.nextArr < len(s.jobs) && s.jobs[s.nextArr].admitAt <= s.d.Now() {
 		j := s.jobs[s.nextArr]
 		s.nextArr++
 		changed = true
-		s.log(j.job.Arrival, "arrive", j.job.ID, -1)
+		s.log(j.admitAt, "arrive", j.job.ID, -1)
 		if sl := s.pickIdle(); sl != nil {
 			if err := s.place(j, sl); err != nil {
 				return false, err
@@ -502,6 +580,10 @@ func (s *scheduler) launch(j *runJob, sm int) error {
 	}
 	j.launch = l
 	j.sm = sm
+	if !s.progSeen[j.wl.Prog] {
+		s.progSeen[j.wl.Prog] = true
+		s.progOrder = append(s.progOrder, j.wl.Prog)
+	}
 	return nil
 }
 
@@ -547,6 +629,9 @@ func (s *scheduler) pollTransitions() (bool, error) {
 			sl.cur = nil
 			sl.state = smIdle
 			s.nDone++
+			if s.onComplete != nil {
+				s.onComplete(j)
+			}
 			changed = true
 		}
 	}

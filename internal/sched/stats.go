@@ -74,7 +74,6 @@ func divRound(sum, n int64) int64 { return (sum + n/2) / n }
 func (s *scheduler) result() (*Result, error) {
 	res := &Result{Kind: s.kind, Events: s.events}
 	var all []int64
-	byTenant := map[int][]JobStats{}
 	for _, j := range s.jobs {
 		st := JobStats{Job: j.job, Start: j.start, Complete: j.complete, Preemptions: j.preemptions}
 		res.Jobs = append(res.Jobs, st)
@@ -83,16 +82,28 @@ func (s *scheduler) result() (*Result, error) {
 			res.Makespan = j.complete
 		}
 		all = append(all, st.TurnaroundCycles())
-		byTenant[j.job.Tenant] = append(byTenant[j.job.Tenant], st)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	res.P50, res.P95, res.P99 = percentile(all, 0.50), percentile(all, 0.95), percentile(all, 0.99)
+	res.Tenants = tenantStats(res.Jobs)
+	s.export(res)
+	return res, nil
+}
 
+// tenantStats aggregates per-tenant statistics over a run's jobs,
+// indexed densely by the tenant ids present, ascending. Shared by the
+// single-device result and the fleet failover result.
+func tenantStats(jobs []JobStats) []TenantStats {
+	byTenant := map[int][]JobStats{}
+	for _, j := range jobs {
+		byTenant[j.Tenant] = append(byTenant[j.Tenant], j)
+	}
 	tenants := make([]int, 0, len(byTenant))
 	for t := range byTenant {
 		tenants = append(tenants, t)
 	}
 	sort.Ints(tenants)
+	out := make([]TenantStats, 0, len(tenants))
 	for _, t := range tenants {
 		js := byTenant[t]
 		ts := TenantStats{Tenant: t, Jobs: len(js)}
@@ -106,10 +117,9 @@ func (s *scheduler) result() (*Result, error) {
 		ts.MeanQueueCycles = divRound(queueSum, int64(len(js)))
 		sort.Slice(turns, func(i, j int) bool { return turns[i] < turns[j] })
 		ts.P50, ts.P95, ts.P99 = percentile(turns, 0.50), percentile(turns, 0.95), percentile(turns, 0.99)
-		res.Tenants = append(res.Tenants, ts)
+		out = append(out, ts)
 	}
-	s.export(res)
-	return res, nil
+	return out
 }
 
 // export publishes the run's statistics into the metrics registry.

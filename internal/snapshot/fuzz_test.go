@@ -1,0 +1,62 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"ctxback/internal/preempt"
+)
+
+// FuzzSnapshotRoundTrip is the satellite-3 fuzz target: any buffer the
+// decoder accepts must re-encode byte-identically (the canonical-form
+// property every downstream checksum and diff depends on), survive
+// CheckInvariants without panicking, and decode identically a second
+// time. Seeds cover an empty state, a mid-run checkpoint, and a parked
+// episode with full context buffers.
+func FuzzSnapshotRoundTrip(f *testing.F) {
+	f.Add([]byte("CSNP"))
+	{
+		wl := mustWorkload(f, "VA")
+		d, _, _ := parked(f, preempt.Baseline, wl)
+		_, enc := Capture(d, 1)
+		f.Add(enc)
+		trunc := enc[:len(enc)/2]
+		f.Add(trunc)
+		flip := append([]byte(nil), enc...)
+		flip[len(flip)/2] ^= 0x20
+		f.Add(flip)
+	}
+	{
+		wl := mustWorkload(f, "MS")
+		d, _, _ := parked(f, preempt.CTXBack, wl)
+		_, enc := Capture(d, 99)
+		f.Add(enc)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(data)
+		if err != nil {
+			// Rejected input: the speculative decoder may accept it (it
+			// skips only the memory checksum) but must never panic.
+			if s, validate, specErr := DecodeSpeculative(data); specErr == nil {
+				_ = s.State.CheckInvariants()
+				_ = validate()
+			}
+			return
+		}
+		again := Encode(snap)
+		if !bytes.Equal(data, again) {
+			t.Fatalf("decode∘encode not identity: %d bytes in, %d out", len(data), len(again))
+		}
+		// Accepted states must be safe to interrogate (never panic);
+		// invariant failures are fine — ImportState refuses those.
+		_ = snap.State.CheckInvariants()
+		snap2, err := Decode(data)
+		if err != nil {
+			t.Fatalf("second decode of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(Encode(snap2), again) {
+			t.Fatal("decode is not deterministic")
+		}
+	})
+}

@@ -1,0 +1,111 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"ctxback/internal/sim"
+)
+
+// ctxCreateCyclesPerSlot models the per-warp-slot share of device
+// context construction (allocator metadata, register-file zeroing, LDS
+// carving). It is the simulator analogue of the ~1s CUDA context
+// creation CRIU-style restores pay when they cannot reuse a pre-warmed
+// context: cold restores charge it, warm-pool restores skip it.
+const ctxCreateCyclesPerSlot = 200
+
+// ColdSetupCycles is the construction cost a restore pays when no warm
+// shell is available, as a deterministic function of the device model.
+func ColdSetupCycles(cfg sim.Config) int64 {
+	return int64(cfg.NumSMs) * int64(cfg.MaxWarpsPerSM) * ctxCreateCyclesPerSlot
+}
+
+// TransferCycles is the cycles needed to move an encoded snapshot onto
+// the device over the context save/restore path (the same bandwidth
+// the per-warp techniques pay, so snapshot restores and context
+// flashbacks are directly comparable).
+func TransferCycles(cfg sim.Config, encodedBytes int) int64 {
+	if cfg.CtxBytesPerCycle <= 0 {
+		return 0
+	}
+	c := float64(encodedBytes) / cfg.CtxBytesPerCycle
+	n := int64(c)
+	if float64(n) < c {
+		n++
+	}
+	return n
+}
+
+// Pool keeps pre-initialized device shells so a restore can skip the
+// construction cost. All shells share one Config and shard width; Get
+// falls back to constructing a cold shell when the pool is dry, and
+// reports which path it took so the harness can split the restore
+// phase into restore-warm vs restore-cold.
+type Pool struct {
+	cfg    sim.Config
+	shards int
+	shells []*sim.Device
+}
+
+// NewPool validates cfg and pre-builds n shells at the given shard
+// width (0 and 1 both mean serial).
+func NewPool(cfg sim.Config, shards, n int) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shards == 0 {
+		shards = 1
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("snapshot: pool size %d < 0", n)
+	}
+	p := &Pool{cfg: cfg, shards: shards}
+	for i := 0; i < n; i++ {
+		if err := p.Refill(1); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Config returns the pool's device model.
+func (p *Pool) Config() sim.Config { return p.cfg }
+
+// Warm returns the number of shells currently ready.
+func (p *Pool) Warm() int { return len(p.shells) }
+
+// Refill pre-builds n more shells (the background warming a production
+// pool does between failovers).
+func (p *Pool) Refill(n int) error {
+	for i := 0; i < n; i++ {
+		d, err := p.build()
+		if err != nil {
+			return err
+		}
+		p.shells = append(p.shells, d)
+	}
+	return nil
+}
+
+func (p *Pool) build() (*sim.Device, error) {
+	d, err := sim.NewDevice(p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.shards > 1 {
+		d.SetShards(p.shards)
+	}
+	return d, nil
+}
+
+// Get pops a warm shell, or builds a cold one when the pool is dry.
+// warm reports which happened; a cold restore additionally charges
+// ColdSetupCycles.
+func (p *Pool) Get() (d *sim.Device, warm bool, err error) {
+	if n := len(p.shells); n > 0 {
+		d = p.shells[n-1]
+		p.shells = p.shells[:n-1]
+		return d, true, nil
+	}
+	d, err = p.build()
+	return d, false, err
+}

@@ -26,6 +26,9 @@ const (
 	CatWarp Category = "warp"
 	// CatMem marks context-path memory-pipeline transactions.
 	CatMem Category = "mem"
+	// CatSnapshot marks whole-device checkpoint/restore milestones
+	// (capture, restore-warm, restore-cold, failover re-admission).
+	CatSnapshot Category = "snapshot"
 )
 
 // Chrome-trace phase letters (the subset the exporter uses).
