@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke procs-diff shards-diff snap-diff
+.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke procs-diff shards-diff snap-diff gen-smoke
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # tracing pipeline end to end.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/harness/ ./internal/sched/ ./internal/sim/ ./internal/snapshot/ ./internal/trace/
+	$(GO) test -race ./internal/harness/ ./internal/sched/ ./internal/sim/ ./internal/snapshot/ ./internal/trace/ ./internal/gen/...
 	$(MAKE) trace-smoke
 
 # trace-smoke runs one preempted kernel with -trace and validates the
@@ -53,6 +53,17 @@ snap-diff:
 	diff -u /tmp/ctxback-snap-base.txt /tmp/ctxback-snap-kill.txt
 	diff -u /tmp/ctxback-snap-kill.txt /tmp/ctxback-snap-warm.txt
 	@echo "failover state witness byte-identical: undisturbed vs killed, cold vs warm"
+
+# gen-smoke is the generated-corpus differential gate: 256 seeds from
+# the seeded SIMT generator run uninterrupted and under forced
+# mid-flight preemption by all 8 techniques, byte-compared against the
+# host-side golden interpreter, with every sampled oracle enabled
+# (scan-vs-readyqueue lockstep, 2-shard epoch engine, resume integrity,
+# snapshot round-trip, fault-injection chaos). genrun exits nonzero on
+# any divergence; the full ≥1000-seed sweep is `go run ./cmd/genrun`.
+gen-smoke:
+	$(GO) run ./cmd/genrun -n 256 -procs 8
+	@echo "generated corpus differential sweep clean"
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/core/ ./internal/preempt/

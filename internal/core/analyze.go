@@ -105,17 +105,46 @@ func (a *analyzer) buildDefs() {
 	a.needs = make([][]verRef, a.n)
 	for i := 0; i < a.n; i++ {
 		uses := a.info.uses[a.q+i]
-		if len(uses) == 0 {
-			continue
+		var refs []verRef
+		if len(uses) > 0 {
+			refs = make([]verRef, len(uses))
+			for j, r := range uses {
+				refs[j] = verRef{reg: r, ver: a.ver(i, r)}
+				id := a.id(r)
+				a.usesOf[id] = append(a.usesOf[id], i)
+			}
 		}
-		refs := make([]verRef, len(uses))
-		for j, r := range uses {
-			refs[j] = verRef{reg: r, ver: a.ver(i, r)}
-			id := a.id(r)
-			a.usesOf[id] = append(a.usesOf[id], i)
+		// An EXEC-masked vector write under a partial mask merges into
+		// its destination: the inactive lanes keep the prior version.
+		// When some masked-out lane is observable (the def is live-in —
+		// liveness only keeps it live there when the value escapes its
+		// mask region), re-executing the instruction additionally needs
+		// that prior version present.
+		if r, ok := partialDefReads(a.prog, a.live, a.q+i); ok {
+			refs = append(refs, verRef{reg: r, ver: a.ver(i, r)})
+			a.usesOf[a.id(r)] = append(a.usesOf[a.id(r)], i)
 		}
 		a.needs[i] = refs
 	}
+}
+
+// partialDefReads reports the vector destination whose prior value
+// instruction pc implicitly reads: an EXEC-masked per-lane write under a
+// possibly-partial mask whose masked-out lanes are still observable
+// (the destination is live-in at its own definition).
+func partialDefReads(prog *isa.Program, live *liveness.Info, pc int) (isa.Reg, bool) {
+	in := prog.At(pc)
+	oi := in.Op.Info()
+	if !oi.HasDst || !oi.DstVec || !oi.ReadsExec || !in.Dst.Valid() {
+		return isa.Reg{}, false
+	}
+	if live.ExecFullIn[pc] {
+		return isa.Reg{}, false
+	}
+	if !live.LiveIn[pc].Has(in.Dst) {
+		return isa.Reg{}, false
+	}
+	return in.Dst, true
 }
 
 // ver returns the version of reg at window position i (before instr i

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"ctxback/internal/isa"
+)
+
+// The idiom testdata/regression/window-partial-def (internal/kernels)
+// runs end-to-end: a flashback window straddling an EXEC-masked write.
+// Re-executing that write merges into its destination, so it implicitly
+// reads the destination's prior version.
+const windowPartialDefSrc = `
+.kernel window-partial-def
+.vregs 3
+.sregs 8
+  v_laneid v0
+  v_mov v1, 7
+  v_mov v2, 3
+  v_cmp_lt_i32 v0, 2
+  s_and_saveexec_vcc s0
+  v_mov v1, 9
+  v_xor v2, v2, 5
+  v_add v2, v2, v1
+  v_xor v2, v2, 11
+  s_setexec s0
+  v_add v1, v1, v2
+  v_shl v0, v0, 2 !noovf
+  v_add v0, v0, s4 !noovf
+  v_gstore v0, v1, 0
+  s_endpgm
+`
+
+// TestPartialDefImplicitRead pins the hidden operand itself: the masked
+// v_mov at pc 5 reads v1's prior version, the full definitions above the
+// divergent region do not.
+func TestPartialDefImplicitRead(t *testing.T) {
+	prog, live := analyzeSrc(t, windowPartialDefSrc)
+	if r, ok := partialDefReads(prog, live, 5); !ok || r != isa.V(1) {
+		t.Fatalf("partialDefReads(pc 5) = %v, %v; want v1, true", r, ok)
+	}
+	// pc 1 defines v1 under the provably full launch mask: a full kill.
+	if _, ok := partialDefReads(prog, live, 1); ok {
+		t.Fatal("partialDefReads(pc 1) must be false under a full mask")
+	}
+	// pc 4 is scalar (s_and_saveexec_vcc): no vector destination.
+	if _, ok := partialDefReads(prog, live, 4); ok {
+		t.Fatal("partialDefReads(pc 4) must be false for a scalar def")
+	}
+}
+
+// TestWindowPartialDefPlansValidate compiles the straddling-window idiom
+// under every feature set and requires each selected plan to survive the
+// independent validator, which re-derives the implicit prior-version
+// read on its own.
+func TestWindowPartialDefPlansValidate(t *testing.T) {
+	prog, live := analyzeSrc(t, windowPartialDefSrc)
+	for _, feats := range []Feature{0, FeatRelaxed, FeatRelaxed | FeatRevert, FeatAll} {
+		c, err := Compile(prog, feats)
+		if err != nil {
+			t.Fatalf("%v: %v", feats, err)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatalf("%v: %v", feats, err)
+		}
+		for pc, plan := range c.Plans {
+			if plan == nil {
+				continue
+			}
+			if err := ValidatePlan(prog, live, plan); err != nil {
+				t.Errorf("%v pc %d: %v", feats, pc, err)
+			}
+		}
+	}
+}

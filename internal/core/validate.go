@@ -189,6 +189,16 @@ func ValidatePlan(prog *isa.Program, live *liveness.Info, plan *Plan) error {
 						pos, in, u, got, want)
 				}
 			}
+			// A masked partial def merges into its destination: when the
+			// masked-out lanes are observable, the prior version must be
+			// present for the re-execution to reproduce the value.
+			if r, ok := partialDefReads(prog, live, plan.Q+pos); ok {
+				want := idx.valAt(pos, r)
+				if got := rst.get(r); got != want {
+					return fmt.Errorf("re-exec window[%d] (%s): masked dst %s holds %v, want prior %v",
+						pos, in, r, got, want)
+				}
+			}
 			for _, d := range info.defs[plan.Q+pos] {
 				rst.put(d, symVal{reg: d, ver: version(pos)})
 			}

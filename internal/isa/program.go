@@ -2,6 +2,7 @@ package isa
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -170,6 +171,12 @@ func (p *Program) Disassemble() string {
 	labelAt := make(map[int][]string)
 	for name, pc := range p.Labels {
 		labelAt[pc] = append(labelAt[pc], name)
+	}
+	// Co-located labels must list in a stable order: the listing is a
+	// triage artifact (sweep reports, regression minimization) and the
+	// same program has to disassemble to the same bytes every time.
+	for _, names := range labelAt {
+		sort.Strings(names)
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, ".kernel %s\n.vregs %d\n.sregs %d\n.lds %d\n", p.Name, p.NumVRegs, p.NumSRegs, p.LDSBytes)

@@ -170,3 +170,28 @@ func TestDisassembleRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestDisassembleStable pins the listing's determinism when several
+// labels share a PC: the map iteration order must not leak into the
+// output (the listing is a triage artifact — same program, same bytes).
+func TestDisassembleStable(t *testing.T) {
+	p, err := Assemble(`
+.kernel stable
+.vregs 2
+.sregs 8
+alpha:
+zeta:
+beta:
+  v_mov v0, 1
+  s_endpgm
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := p.Disassemble()
+	for i := 0; i < 32; i++ {
+		if got := p.Disassemble(); got != first {
+			t.Fatalf("iteration %d: listing changed:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package kernels
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctxback/internal/isa"
+	"ctxback/internal/sim"
+)
+
+// testdata/regression holds the minimized regression kernels distilled
+// from the bugs the generated-corpus differential sweep (internal/gen)
+// uncovered. Each file names the bug it pins; the programs stay checked
+// in as assembly so the exact instruction sequence that reproduced the
+// divergence is the artifact under version control, not a builder that
+// might drift.
+//
+//go:embed testdata/regression/*.s
+var regressionFS embed.FS
+
+// RegressionNames lists the regression kernels in sorted order.
+func RegressionNames() []string {
+	entries, err := regressionFS.ReadDir("testdata/regression")
+	if err != nil {
+		panic(fmt.Sprintf("kernels: embedded regression corpus missing: %v", err))
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".s"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Regression assembles one minimized regression kernel by file name
+// (without the .s suffix).
+func Regression(name string) (*isa.Program, error) {
+	src, err := regressionFS.ReadFile("testdata/regression/" + name + ".s")
+	if err != nil {
+		return nil, fmt.Errorf("kernels: unknown regression kernel %q: %w", name, err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("kernels: regression kernel %q: %w", name, err)
+	}
+	return prog, nil
+}
+
+// RegressionTileBytes is the per-warp output tile each regression kernel
+// addresses through s4.
+const RegressionTileBytes = 512
+
+// RegressionSetup is the common warp ABI of the regression corpus: s4 is
+// the warp's private output tile base.
+func RegressionSetup(base int) func(w *sim.Warp) {
+	return func(w *sim.Warp) {
+		w.SRegs[4] = uint64(base + w.ID*RegressionTileBytes)
+	}
+}

@@ -1,0 +1,61 @@
+package kernels
+
+import (
+	"testing"
+
+	"ctxback/internal/cfg"
+	"ctxback/internal/core"
+	"ctxback/internal/liveness"
+)
+
+// TestRegressionCorpusClean holds the regression corpus to the same bar
+// as the Table I kernels: every minimized program assembles, validates,
+// builds a CFG, analyzes, and compiles under the full feature set with
+// intact invariants. A regression kernel that the toolchain itself
+// rejects would silently stop pinning its bug.
+func TestRegressionCorpusClean(t *testing.T) {
+	names := RegressionNames()
+	if len(names) < 6 {
+		t.Fatalf("regression corpus has %d programs, expected at least 6", len(names))
+	}
+	for _, name := range names {
+		prog, err := Regression(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := prog.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		g, err := cfg.Build(prog)
+		if err != nil {
+			t.Errorf("%s: cfg: %v", name, err)
+			continue
+		}
+		live := liveness.Analyze(g)
+		c, err := core.Compile(prog, core.FeatAll)
+		if err != nil {
+			t.Errorf("%s: compile: %v", name, err)
+			continue
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Errorf("%s: invariants: %v", name, err)
+		}
+		for pc, plan := range c.Plans {
+			if plan == nil {
+				continue
+			}
+			if err := core.ValidatePlan(prog, live, plan); err != nil {
+				t.Errorf("%s pc %d: %v", name, pc, err)
+			}
+		}
+	}
+}
+
+// TestRegressionUnknownName pins the loader's error path.
+func TestRegressionUnknownName(t *testing.T) {
+	if _, err := Regression("no-such-kernel"); err == nil {
+		t.Fatal("Regression must report unknown names")
+	}
+}

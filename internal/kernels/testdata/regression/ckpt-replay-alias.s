@@ -1,0 +1,31 @@
+; Minimized from generated-corpus seed 745 (1000-seed differential sweep).
+;
+; The loop reads a tile word, folds it into an accumulator, and then
+; overwrites the same word — a memory anti-dependence between the load
+; and the store. CKPT resumes by replaying from the last checkpoint, and
+; a replay that crosses the store re-executes the load against memory
+; the dropped incarnation already mutated: the replayed load observes
+; its own future store, the accumulator folds the wrong value, and the
+; final result diverges from the uninterrupted run. This is the same
+; hazard class SM-flushing refuses outright; CKPT cannot refuse, so it
+; must pin a checkpoint right after every global store that may alias a
+; global load, bounding every replay region to re-read only memory its
+; own execution has not yet touched.
+.kernel reg-ckpt-replay-alias
+.vregs 4
+.sregs 8
+  v_laneid v0
+  v_shl v0, v0, 2 !noovf
+  v_add v0, v0, s4 !noovf     ; per-lane tile word
+  v_mov v3, 0                 ; accumulator
+  s_mov s5, 4
+loop:
+  v_gload v1, v0, 0           ; read own tile word...
+  v_add v3, v3, v1            ; ...fold it into the accumulator...
+  v_add v1, v1, 7
+  v_gstore v0, v1, 0          ; ...then overwrite it (anti-dependence)
+  s_sub s5, s5, 1
+  s_cmp_gt s5, 0
+  s_cbranch_scc1 loop
+  v_gstore v0, v3, 256        ; result in the tile's second half
+  s_endpgm

@@ -1,0 +1,19 @@
+; Minimized from generated-corpus seed 11 (gen-smoke differential sweep).
+;
+; The kernel stores to its tile and loads the value back. Restarting it
+; from scratch (SM-flushing) re-runs the load against device memory the
+; dropped incarnation already mutated — the second incarnation observes
+; its predecessor's v_gstore instead of the launch image and produces a
+; different final tile. SM-flushing must refuse such kernels the same way
+; it refuses atomics; only streaming kernels are restartable.
+.kernel reg-flush-alias
+.vregs 2
+.sregs 8
+  v_laneid v0
+  v_shl v0, v0, 2 !noovf
+  v_add v0, v0, s4 !noovf
+  v_gstore v0, v0, 0
+  v_gload v1, v0, 0           ; may alias the store above
+  v_add v1, v1, 1
+  v_gstore v0, v1, 0
+  s_endpgm

@@ -1,0 +1,18 @@
+; Constructed while fixing the generator-found SM-flush restart bugs, to
+; harden the one resume path the sweep cannot reach under the current
+; issue/hook ordering: a warp with no entry snapshot.
+;
+; v1 is read before it is written, so the launch-contract zero is
+; observable. A warp that is preempted before it ever issued has no entry
+; snapshot; its SM-flush resume must still re-zero the vector file rather
+; than leave the preemption poison for the restart to read.
+.kernel reg-flush-coldwarp
+.vregs 2
+.sregs 8
+  v_laneid v0
+  v_add v1, v1, 1             ; launch v1 = 0
+  v_add v1, v1, v0
+  v_shl v0, v0, 2 !noovf
+  v_add v0, v0, s4 !noovf
+  v_gstore v0, v1, 0
+  s_endpgm

@@ -1,0 +1,22 @@
+; Minimized from generated-corpus seed 4 (gen-smoke differential sweep).
+;
+; VCC and SCC are read before the kernel ever writes them, so both launch
+; zeros are architecturally observable. An SM-flush restart that reloads
+; only the scalar file leaves the preemption poison (0xDEADBEEF) in the
+; flags: v_cndmask flips lanes to 9 and s_cbranch_scc1 skips the xor.
+.kernel reg-flush-flags
+.vregs 3
+.sregs 8
+  v_laneid v0
+  v_mov v1, 5
+  v_cndmask v1, v1, 9         ; reads launch VCC (all zero): keeps 5
+  s_cbranch_scc1 skip         ; reads launch SCC (0): falls through
+  v_xor v1, v1, 3
+skip:
+  v_mov v2, 1
+  v_add v2, v2, v1
+  v_shl v0, v0, 2 !noovf
+  v_add v0, v0, s4 !noovf
+  v_gstore v0, v1, 0
+  v_gstore v0, v2, 256
+  s_endpgm

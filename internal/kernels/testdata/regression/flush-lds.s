@@ -1,0 +1,19 @@
+; Minimized from generated-corpus seed 2 (gen-smoke differential sweep).
+;
+; The LDS share is read before it is written: the launch contract zeroes
+; it, and releasing an SM poisons it (0xDEADBEEF). An SM-flush restart
+; must re-establish the launch zeros or the first v_lload observes the
+; poison.
+.kernel reg-flush-lds
+.vregs 3
+.sregs 8
+.lds 256
+  v_laneid v0
+  v_shl v0, v0, 2 !noovf
+  v_lload v1, v0, 0           ; launch LDS is all zeros
+  v_add v1, v1, 7
+  v_lstore v0, v1, 0
+  v_lload v2, v0, 0
+  v_add v0, v0, s4 !noovf
+  v_gstore v0, v2, 0
+  s_endpgm

@@ -1,0 +1,23 @@
+; Minimized from generated-corpus seed 6 (gen-smoke differential sweep).
+;
+; v1 is fully defined (7), then partially redefined (9) under a divergent
+; EXEC mask. The masked-out lanes' value must survive any preemption
+; between the two writes: liveness that treats the masked write as a full
+; kill drops v1 from every live-in context above it, so LIVE / CKPT /
+; CS-Defer / CTXBack all restored poison into lanes 2..63.
+.kernel reg-masked-partial-def
+.vregs 3
+.sregs 8
+  v_laneid v0
+  v_mov v1, 7
+  v_xor v2, v0, 42
+  v_cmp_lt_i32 v0, 2          ; vcc = lanes 0,1
+  s_and_saveexec_vcc s0       ; exec = {0,1}
+  v_mov v1, 9                 ; partial def: must not kill v1
+  v_add v2, v2, v1
+  s_setexec s0                ; reconverge to the full mask
+  v_shl v0, v0, 2 !noovf
+  v_add v0, v0, s4 !noovf
+  v_gstore v0, v1, 0
+  v_gstore v0, v2, 256
+  s_endpgm

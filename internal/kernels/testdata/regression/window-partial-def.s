@@ -1,0 +1,26 @@
+; Minimized from generated-corpus seed 19 (gen-smoke differential sweep).
+;
+; A flashback window that straddles the masked v_mov re-executes it on
+; resume. The write merges into its destination — inactive lanes keep the
+; prior value — so the re-execution implicitly reads v1's version from
+; before the window. The window analyzer has to count that hidden operand
+; (and the plan validator has to check it), or CTXBack restores a context
+; that re-executes the store of v1 with poison in the masked-out lanes.
+.kernel reg-window-partial-def
+.vregs 3
+.sregs 8
+  v_laneid v0
+  v_mov v1, 7
+  v_mov v2, 3
+  v_cmp_lt_i32 v0, 2
+  s_and_saveexec_vcc s0
+  v_mov v1, 9                 ; partial def inside the window
+  v_xor v2, v2, 5
+  v_add v2, v2, v1
+  v_xor v2, v2, 11
+  s_setexec s0
+  v_add v1, v1, v2
+  v_shl v0, v0, 2 !noovf
+  v_add v0, v0, s4 !noovf
+  v_gstore v0, v1, 0
+  s_endpgm

@@ -4,6 +4,23 @@
 // "an instruction's register context is just its live-in registers") and
 // the use-define chains to determine which instruction overwrote a
 // register.
+//
+// Vector writes are EXEC-masked: an instruction executed under a partial
+// mask only overwrites the active lanes, so the destination's previous
+// value flows through on the inactive lanes. Such a write is a partial
+// definition — it must not kill liveness when a masked-out lane can still
+// be observed. Two cooperating analyses keep this precise:
+//
+//   - a forward EXEC-fullness pass proves, per PC, that the mask is all
+//     ones, tracking scalar registers that hold a saved full mask so the
+//     s_and_saveexec_vcc / s_setexec reconvergence idiom re-proves
+//     fullness after a divergent region;
+//   - the backward pass runs a three-state lattice per vector register
+//     (dead < live-same-mask < live-escaped): a value escapes when its
+//     liveness crosses an EXEC write or a lane-indexed read (v_readlane
+//     ignores the mask). A masked definition kills only when the mask is
+//     provably full or the register has not escaped — every observer then
+//     reads only lanes the definition wrote.
 package liveness
 
 import (
@@ -19,10 +36,20 @@ type Info struct {
 	LiveIn []isa.RegSet
 	// LiveOut[pc] is the set of registers live immediately after pc.
 	LiveOut []isa.RegSet
-	// DefOf[pc][r] is the PC of the reaching definition of register r at
-	// the entry of pc, when that definition is unique and within pc's
-	// basic block; absent otherwise. This is the block-local use-define
-	// chain CTXBack walks.
+	// ExecFullIn[pc] reports that EXEC is provably all ones when the
+	// instruction at pc issues (vector defs there are full kills).
+	ExecFullIn []bool
+	// EscIn[pc] holds the vector registers whose masked-out lanes may
+	// still be observed at or below pc (their liveness crosses an EXEC
+	// write or a lane-indexed read). For a live register absent from
+	// this set, every downstream read happens under the mask in force at
+	// pc — its inactive lanes are dead.
+	EscIn []isa.RegSet
+	// DefOf[pc][r] is the PC of the most recent write to register r at
+	// the entry of pc, when that write is unique and within pc's basic
+	// block; absent otherwise. This is the block-local use-define chain
+	// CTXBack walks. A masked vector write counts: it is the instruction
+	// that overwrote the active lanes.
 	DefOf []map[isa.Reg]int
 }
 
@@ -31,10 +58,12 @@ func Analyze(g *cfg.Graph) *Info {
 	p := g.Prog
 	n := p.Len()
 	info := &Info{
-		Graph:   g,
-		LiveIn:  make([]isa.RegSet, n),
-		LiveOut: make([]isa.RegSet, n),
-		DefOf:   make([]map[isa.Reg]int, n),
+		Graph:      g,
+		LiveIn:     make([]isa.RegSet, n),
+		LiveOut:    make([]isa.RegSet, n),
+		ExecFullIn: execFullness(g),
+		EscIn:      make([]isa.RegSet, n),
+		DefOf:      make([]map[isa.Reg]int, n),
 	}
 
 	// Pre-compute per-instruction use/def sets.
@@ -45,13 +74,49 @@ func Analyze(g *cfg.Graph) *Info {
 		defs[pc] = p.At(pc).DefSet()
 	}
 
-	// Block-level gen/kill.
+	// step applies pc's backward transfer to (live, esc) in place,
+	// turning the state below the instruction into the state above it.
+	// esc ⊆ live holds the vector registers whose masked-out lanes may
+	// still be observed below.
+	step := func(pc int, live, esc isa.RegSet) {
+		in := p.At(pc)
+		// Crossing an EXEC write: the mask above differs from the mask
+		// below, so defs above must preserve the masked-out lanes of
+		// everything live here.
+		if defs[pc].Has(isa.Exec) {
+			for r := range live {
+				if r.IsVector() {
+					esc.Add(r)
+				}
+			}
+		}
+		for r := range defs[pc] {
+			if killsDef(in, r, info.ExecFullIn[pc], esc) {
+				live.Remove(r)
+				esc.Remove(r)
+			}
+			// A non-killing partial def leaves r live: the inactive
+			// lanes' value flows in from above.
+		}
+		live.AddAll(uses[pc])
+		// v_readlane reads one lane regardless of EXEC; the source's
+		// masked-out lanes are observable.
+		if in.Op == isa.VReadLane && in.Srcs[0].IsReg() {
+			esc.Add(in.Srcs[0].Reg)
+		}
+	}
+
+	// Block-level gen/kill over the paired (live, escaped) state.
 	nb := len(g.Blocks)
 	blockIn := make([]isa.RegSet, nb)
 	blockOut := make([]isa.RegSet, nb)
+	escIn := make([]isa.RegSet, nb)
+	escOut := make([]isa.RegSet, nb)
 	for i := range blockIn {
 		blockIn[i] = make(isa.RegSet)
 		blockOut[i] = make(isa.RegSet)
+		escIn[i] = make(isa.RegSet)
+		escOut[i] = make(isa.RegSet)
 	}
 
 	// Iterate to fixpoint (reverse order speeds convergence).
@@ -61,18 +126,23 @@ func Analyze(g *cfg.Graph) *Info {
 		for bi := nb - 1; bi >= 0; bi-- {
 			b := &g.Blocks[bi]
 			out := make(isa.RegSet)
+			esc := make(isa.RegSet)
 			for _, s := range b.Succs {
 				out.AddAll(blockIn[s])
+				esc.AddAll(escIn[s])
 			}
 			in := out.Clone()
+			escAbove := esc.Clone()
 			for pc := b.End - 1; pc >= b.Start; pc-- {
-				in.RemoveAll(defs[pc])
-				in.AddAll(uses[pc])
+				step(pc, in, escAbove)
 			}
-			if !out.Equal(blockOut[bi]) || !in.Equal(blockIn[bi]) {
+			if !out.Equal(blockOut[bi]) || !in.Equal(blockIn[bi]) ||
+				!esc.Equal(escOut[bi]) || !escAbove.Equal(escIn[bi]) {
 				changed = true
 				blockOut[bi] = out
 				blockIn[bi] = in
+				escOut[bi] = esc
+				escIn[bi] = escAbove
 			}
 		}
 	}
@@ -81,16 +151,17 @@ func Analyze(g *cfg.Graph) *Info {
 	for bi := range g.Blocks {
 		b := &g.Blocks[bi]
 		live := blockOut[bi].Clone()
+		esc := escOut[bi].Clone()
 		for pc := b.End - 1; pc >= b.Start; pc-- {
 			info.LiveOut[pc] = live.Clone()
-			live.RemoveAll(defs[pc])
-			live.AddAll(uses[pc])
+			step(pc, live, esc)
 			info.LiveIn[pc] = live.Clone()
+			info.EscIn[pc] = esc.Clone()
 		}
 	}
 
 	// Block-local use-define chains: forward scan recording the last
-	// definition of each register.
+	// write of each register.
 	for bi := range g.Blocks {
 		b := &g.Blocks[bi]
 		lastDef := make(map[isa.Reg]int)
@@ -108,6 +179,156 @@ func Analyze(g *cfg.Graph) *Info {
 	return info
 }
 
+// killsDef reports whether in's write to r fully overwrites it, ending
+// the previous value's liveness. Scalar and special registers are always
+// whole-register writes. For vector destinations, EXEC-masked per-lane
+// ops are full kills only when the mask is provably full or the value
+// has not escaped the mask region; v_writelane (one lane, mask-ignoring)
+// never kills.
+func killsDef(in *isa.Instruction, r isa.Reg, execFull bool, esc isa.RegSet) bool {
+	if !r.IsVector() {
+		return true
+	}
+	oi := in.Op.Info()
+	switch {
+	case in.Op == isa.VWriteLane:
+		return false
+	case oi.DstVec && oi.ReadsExec && r == in.Dst:
+		return execFull || !esc.Has(r)
+	default:
+		// Whole-register vector writes (ctx_load_v).
+		return true
+	}
+}
+
+// execFullness computes, per PC, whether EXEC is provably all ones when
+// the instruction at that PC issues. Warps launch with a full mask; the
+// forward pass tracks scalar registers known to hold a full-mask value
+// so the save/restore reconvergence idiom (s_and_saveexec_vcc save ...
+// s_setexec save) proves fullness again after a divergent region.
+func execFullness(g *cfg.Graph) []bool {
+	p := g.Prog
+	n := p.Len()
+	full := make([]bool, n)
+	nb := len(g.Blocks)
+	if n == 0 || nb == 0 {
+		return full
+	}
+
+	type state struct {
+		full     bool
+		fullRegs isa.RegSet // scalar regs holding an all-ones mask
+	}
+	clone := func(s state) state {
+		return state{full: s.full, fullRegs: s.fullRegs.Clone()}
+	}
+	// meet narrows dst by src; reports whether dst changed.
+	meet := func(dst *state, src state) bool {
+		changed := false
+		if dst.full && !src.full {
+			dst.full = false
+			changed = true
+		}
+		for r := range dst.fullRegs {
+			if !src.fullRegs.Has(r) {
+				dst.fullRegs.Remove(r)
+				changed = true
+			}
+		}
+		return changed
+	}
+
+	// fullVal reports whether operand o is known to be an all-ones mask.
+	fullVal := func(st *state, o isa.Operand) bool {
+		if o.IsReg() {
+			return st.fullRegs.Has(o.Reg)
+		}
+		// Scalar immediates sign-extend (uint64(int64(int32(imm)))).
+		return uint64(int64(int32(o.Imm))) == ^uint64(0)
+	}
+	stepExec := func(st *state, in *isa.Instruction) {
+		oi := in.Op.Info()
+		switch in.Op {
+		case isa.SAndSaveExecVCC:
+			// dst = old exec; exec &= vcc (full only if vcc is, unknown).
+			if st.full {
+				st.fullRegs.Add(in.Dst)
+			} else {
+				st.fullRegs.Remove(in.Dst)
+			}
+			st.full = false
+		case isa.SSetExec:
+			st.full = fullVal(st, in.Srcs[0])
+		case isa.SOrExec:
+			st.full = st.full || fullVal(st, in.Srcs[0])
+		case isa.SGetExec:
+			if st.full {
+				st.fullRegs.Add(in.Dst)
+			} else {
+				st.fullRegs.Remove(in.Dst)
+			}
+		case isa.SMov:
+			if fullVal(st, in.Srcs[0]) {
+				st.fullRegs.Add(in.Dst)
+			} else {
+				st.fullRegs.Remove(in.Dst)
+			}
+		default:
+			if oi.WritesExec || (oi.HasDst && in.Dst == isa.Exec) {
+				st.full = false
+			}
+			if oi.HasDst && in.Dst.Valid() && in.Dst != isa.Exec {
+				st.fullRegs.Remove(in.Dst)
+			}
+		}
+	}
+
+	in := make([]state, nb)
+	seen := make([]bool, nb)
+	entry := 0
+	for bi := range g.Blocks {
+		if g.Blocks[bi].Start == 0 {
+			entry = bi
+			break
+		}
+	}
+	in[entry] = state{full: true, fullRegs: make(isa.RegSet)}
+	seen[entry] = true
+	work := []int{entry}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		b := &g.Blocks[bi]
+		st := clone(in[bi])
+		for pc := b.Start; pc < b.End; pc++ {
+			stepExec(&st, p.At(pc))
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				in[s] = clone(st)
+				work = append(work, s)
+			} else if meet(&in[s], st) {
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Materialize per-PC fullness. Unreached blocks stay pessimistic.
+	for bi := range g.Blocks {
+		if !seen[bi] {
+			continue
+		}
+		b := &g.Blocks[bi]
+		st := clone(in[bi])
+		for pc := b.Start; pc < b.End; pc++ {
+			full[pc] = st.full
+			stepExec(&st, p.At(pc))
+		}
+	}
+	return full
+}
+
 // Context returns the register context of the instruction at pc — its
 // live-in registers (a clone safe to mutate).
 func (in *Info) Context(pc int) isa.RegSet {
@@ -119,9 +340,9 @@ func (in *Info) ContextBytes(pc int) int {
 	return in.LiveIn[pc].ContextBytes()
 }
 
-// LastDefIn returns the PC of the most recent definition of r before pc
-// within pc's basic block; ok=false when r has no in-block definition
-// before pc (its value flows in from outside the block).
+// LastDefIn returns the PC of the most recent write to r before pc
+// within pc's basic block; ok=false when r has no in-block write before
+// pc (its value flows in from outside the block).
 func (in *Info) LastDefIn(pc int, r isa.Reg) (def int, ok bool) {
 	def, ok = in.DefOf[pc][r]
 	return def, ok

@@ -1,0 +1,101 @@
+package liveness
+
+import (
+	"testing"
+
+	"ctxback/internal/isa"
+)
+
+// TestMaskedPartialDefLattice pins the three-state lattice on the idiom
+// that testdata/regression/masked-partial-def (internal/kernels) runs
+// end-to-end: a full definition, a divergent region re-defining the same
+// register under a partial mask, and observers after reconvergence. The
+// masked write must not kill the prior value's liveness.
+func TestMaskedPartialDefLattice(t *testing.T) {
+	_, info := analyze(t, `
+.kernel masked-partial-def
+.vregs 3
+.sregs 8
+  v_laneid v0
+  v_mov v1, 7
+  v_xor v2, v0, 42
+  v_cmp_lt_i32 v0, 2
+  s_and_saveexec_vcc s0
+  v_mov v1, 9
+  v_add v2, v2, v1
+  s_setexec s0
+  v_shl v0, v0, 2 !noovf
+  v_add v0, v0, s4 !noovf
+  v_gstore v0, v1, 0
+  v_gstore v0, v2, 256
+  s_endpgm
+`)
+	// The forward pass proves fullness up to the saveexec, loses it in
+	// the divergent region, and re-proves it after s_setexec restores
+	// the saved full mask.
+	for pc, want := range map[int]bool{4: true, 5: false, 6: false, 8: true} {
+		if info.ExecFullIn[pc] != want {
+			t.Errorf("ExecFullIn[%d] = %v, want %v", pc, info.ExecFullIn[pc], want)
+		}
+	}
+	// v1's masked-out lanes are observed by the store after
+	// reconvergence: the value escapes its defining mask, so the masked
+	// v_mov at pc 5 is a partial definition and the prior value (the 7
+	// from pc 1) must stay live across it.
+	if !info.EscIn[5].Has(isa.V(1)) {
+		t.Errorf("EscIn[5] = %v, want v1 escaped", info.EscIn[5].Sorted())
+	}
+	for pc := 2; pc <= 5; pc++ {
+		if !info.LiveIn[pc].Has(isa.V(1)) {
+			t.Errorf("LiveIn[%d] = %v, want v1 live across the masked def",
+				pc, info.LiveIn[pc].Sorted())
+		}
+	}
+}
+
+// TestFullDefStillKills is the contrast case: with no divergence the
+// same redefinition is a full kill, and the precision that funds
+// CTXBack's small contexts must not regress.
+func TestFullDefStillKills(t *testing.T) {
+	_, info := analyze(t, `
+.kernel full-def
+.vregs 4
+.sregs 8
+  v_mov v1, 7
+  v_mov v1, 9
+  v_gstore v3, v1, 0
+  s_endpgm
+`)
+	if !info.ExecFullIn[1] {
+		t.Error("ExecFullIn[1] must hold at launch mask")
+	}
+	if info.LiveIn[1].Has(isa.V(1)) {
+		t.Errorf("LiveIn[1] = %v: a full redefinition must kill v1",
+			info.LiveIn[1].Sorted())
+	}
+}
+
+// TestReadlaneEscapes pins the other escape edge: v_readlane ignores the
+// EXEC mask, so a masked definition of its source must not kill.
+func TestReadlaneEscapes(t *testing.T) {
+	_, info := analyze(t, `
+.kernel readlane-escape
+.vregs 3
+.sregs 8
+  v_mov v1, 7
+  v_cmp_lt_i32 v0, 2
+  s_and_saveexec_vcc s0
+  v_mov v1, 9
+  s_setexec s0
+  v_readlane s1, v1, 5
+  s_gstore s4, s1, 0
+  s_endpgm
+`)
+	if !info.EscIn[3].Has(isa.V(1)) {
+		t.Errorf("EscIn[3] = %v, want v1 escaped via v_readlane", info.EscIn[3].Sorted())
+	}
+	if !info.LiveIn[3].Has(isa.V(1)) {
+		t.Errorf("LiveIn[3] = %v, want v1 live across the masked def",
+			info.LiveIn[3].Sorted())
+	}
+}

@@ -16,10 +16,10 @@ const DefaultCkptInterval = 16
 // point; preemption just drops the warp; resume restores the last
 // snapshot and replays forward.
 //
-// Idempotence handling: a snapshot is forced right after every atomic
-// and barrier (replaying across either would be incorrect), mirroring
-// how the original mechanisms restrict checkpoints to idempotent-region
-// boundaries.
+// Idempotence handling: a snapshot is forced right after every atomic,
+// barrier, and global store that may alias a global load (replaying
+// across any of them would be incorrect), mirroring how the original
+// mechanisms restrict checkpoints to idempotent-region boundaries.
 type ckptTech struct {
 	prog     *isa.Program
 	interval int
@@ -86,10 +86,38 @@ func ckptStaticFor(prog *isa.Program, interval int) (*ckptStatic, error) {
 			st.siteOf[pc] = true
 		}
 	}
+	// Replay is only sound over an idempotent region. Atomics and
+	// barriers end one unconditionally; so does any global store that may
+	// alias a global load — a replay crossing such a store re-executes
+	// the load against memory the dropped incarnation already mutated
+	// (the load observes its own future store). That is the same hazard
+	// class SM-flushing refuses outright (flushSound); CKPT cannot
+	// refuse, so it pins a checkpoint right after each hazardous store,
+	// bounding every replay region to re-read only memory its own
+	// execution has not yet touched. LDS is exempt: the share is part of
+	// the snapshot, so replayed LDS loads see checkpoint-time contents.
+	var gloads []*isa.Instruction
 	for pc := 0; pc < prog.Len(); pc++ {
 		in := prog.At(pc)
-		if (in.Op.Info().Class == isa.ClassAtomic || in.Op == isa.SBarrier) && pc+1 < prog.Len() {
+		if in.Op == isa.VGLoad || in.Op == isa.SGLoad {
+			gloads = append(gloads, in)
+		}
+	}
+	for pc := 0; pc < prog.Len(); pc++ {
+		in := prog.At(pc)
+		if pc+1 >= prog.Len() {
+			break
+		}
+		switch {
+		case in.Op.Info().Class == isa.ClassAtomic || in.Op == isa.SBarrier:
 			st.forced[pc+1] = true
+		case in.Op == isa.VGStore || in.Op == isa.SGStore:
+			for _, l := range gloads {
+				if isa.MayAlias(l, in) {
+					st.forced[pc+1] = true
+					break
+				}
+			}
 		}
 	}
 	got, _ := ckptCache.LoadOrStore(key, st)

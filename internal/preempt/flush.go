@@ -3,6 +3,7 @@ package preempt
 import (
 	"fmt"
 
+	"ctxback/internal/cfg"
 	"ctxback/internal/isa"
 	"ctxback/internal/sim"
 	"ctxback/internal/trace"
@@ -23,8 +24,10 @@ type flushTech struct {
 	// entry[warpID] snapshots the warp's launch-time context, captured
 	// by the first Hook call.
 	entry map[int]*sim.SavedContext
-	// flushable reports whether restarting from scratch is sound: the
-	// kernel must contain no atomics (re-running one would double-apply).
+	// flushable reports whether restarting from scratch is sound: no
+	// atomics (re-running one would double-apply) and no global load
+	// that may alias a global store (the restart would observe its
+	// dropped incarnation's writes instead of the launch image).
 	flushable bool
 }
 
@@ -37,7 +40,7 @@ func NewSMFlush(prog *isa.Program) (Technique, error) {
 		return nil, err
 	}
 	if !t.flushable {
-		return nil, fmt.Errorf("preempt: kernel %q is not idempotent (contains atomics); SM-flushing is unsound", prog.Name)
+		return nil, fmt.Errorf("preempt: kernel %q is not idempotent (atomics or aliasing global load/store); SM-flushing is unsound", prog.Name)
 	}
 	return t, nil
 }
@@ -46,21 +49,31 @@ func newFlushTech(prog *isa.Program) (*flushTech, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	flushable := true
-	for pc := 0; pc < prog.Len(); pc++ {
-		if prog.At(pc).Op.Info().Class == isa.ClassAtomic {
-			flushable = false
-			break
-		}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
 	}
+	flushable := flushSound(prog)
 	// The entry context is every register a warp needs at pc 0: its
 	// kernel arguments. Conservatively snapshot all scalar registers
-	// plus EXEC (vector registers start zeroed by the launch contract).
+	// plus EXEC (vector registers start zeroed by the launch contract
+	// and are re-zeroed explicitly on resume). The launch contract also
+	// zeroes VCC and SCC; a restart must reproduce that whenever the
+	// kernel can observe it — i.e. some path from the first instruction
+	// reads the flag before writing it — rather than leave whatever the
+	// resume poison put there.
 	regs := make(isa.RegSet)
 	for i := 0; i < prog.NumSRegs; i++ {
 		regs.Add(isa.S(i))
 	}
 	regs.Add(isa.Exec)
+	vccObs, sccObs := launchFlagsObservable(g)
+	if vccObs {
+		regs.Add(isa.VCC)
+	}
+	if sccObs {
+		regs.Add(isa.SCC)
+	}
 	return &flushTech{
 		prog:      prog,
 		entryRegs: regs,
@@ -96,6 +109,13 @@ func (t *flushTech) Hook(w *sim.Warp, pc int) ([]isa.Instruction, *sim.SavedCont
 	}
 	buf := sim.NewSavedContext()
 	t.entry[w.ID] = buf
+	// The warp's LDS share is part of its launch state too: a restart
+	// must find it zeroed, not holding whatever the resume poison left.
+	// The launch image is all zeros by contract, so the buffer is
+	// populated directly — writing zeros needs no save traffic.
+	if hi := w.LDSShareHi - w.LDSShareLo; hi > 0 {
+		buf.LDS = make([]uint32, hi/4)
+	}
 	body := saveSet(t.entryRegs)
 	body = append(body, isa.Instruction{Op: isa.CtxSavePC, Target: 0})
 	return body, buf
@@ -116,16 +136,118 @@ func (t *flushTech) PreemptRoutine(w *sim.Warp) []isa.Instruction {
 func (t *flushTech) ResumeRoutine(w *sim.Warp) ([]isa.Instruction, *sim.SavedContext) {
 	ck := t.entry[w.ID]
 	if ck == nil {
-		return finishResume(w, loadSet(t.entryRegs), 0), nil
+		// Never-issued warp: registers still hold launch values in the
+		// fallback save; only the vector poison needs re-zeroing.
+		return finishResume(w, append(loadSet(t.entryRegs), zeroVRegs(t.prog)...), 0), nil
 	}
-	body := loadSet(t.entryRegs)
-	// Vector registers restart zeroed, matching the launch contract.
-	for i := 0; i < t.prog.NumVRegs; i++ {
-		body = append(body, isa.Instruction{Op: isa.VMov, Dst: isa.V(i),
-			Srcs: [isa.MaxSrcs]isa.Operand{isa.Imm(0)}})
+	var body []isa.Instruction
+	if t.prog.LDSBytes > 0 {
+		body = append(body, isa.Instruction{Op: isa.CtxLoadLDS})
 	}
+	body = append(body, loadSet(t.entryRegs)...)
+	// Vector registers restart zeroed, matching the launch contract (the
+	// moves run after the EXEC restore, so every lane is written).
+	body = append(body, zeroVRegs(t.prog)...)
 	body = append(body, isa.Instruction{Op: isa.CtxResume, Target: 0})
 	return body, ck
+}
+
+// launchFlagsObservable reports, per condition flag, whether the kernel
+// can observe its launch value: some path from the first instruction
+// reaches a read of VCC (resp. SCC) with no full write in between. When
+// false, every read is dominated by a write, so a restart reproduces the
+// flag deterministically and need not restore the launch zero.
+func launchFlagsObservable(g *cfg.Graph) (vcc, scc bool) {
+	prog := g.Prog
+	// Forward may-analysis: state is "the flag may still hold its launch
+	// value". A read in that state makes the launch value observable; a
+	// write clears the state for the rest of the path. Meet is OR.
+	type state struct{ vcc, scc bool }
+	nb := len(g.Blocks)
+	in := make([]state, nb)
+	seen := make([]bool, nb)
+	entry := 0
+	for bi := range g.Blocks {
+		if g.Blocks[bi].Start == 0 {
+			entry = bi
+			break
+		}
+	}
+	in[entry] = state{vcc: true, scc: true}
+	seen[entry] = true
+	work := []int{entry}
+	for len(work) > 0 {
+		bi := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := in[bi]
+		b := &g.Blocks[bi]
+		for pc := b.Start; pc < b.End; pc++ {
+			instr := prog.At(pc)
+			uses, defs := instr.UseSet(), instr.DefSet()
+			if st.vcc && uses.Has(isa.VCC) {
+				vcc = true
+			}
+			if st.scc && uses.Has(isa.SCC) {
+				scc = true
+			}
+			if defs.Has(isa.VCC) {
+				st.vcc = false
+			}
+			if defs.Has(isa.SCC) {
+				st.scc = false
+			}
+		}
+		for _, s := range b.Succs {
+			merged := state{vcc: in[s].vcc || st.vcc, scc: in[s].scc || st.scc}
+			if !seen[s] || merged != in[s] {
+				seen[s] = true
+				in[s] = merged
+				work = append(work, s)
+			}
+		}
+	}
+	return vcc, scc
+}
+
+// flushSound reports whether restarting the kernel from its first
+// instruction is idempotent. Two hazard classes break it:
+//
+//   - atomics: the restart would apply them a second time;
+//   - a global load that may alias any global store: the restart runs
+//     against the device memory its dropped incarnation already mutated,
+//     not the launch image, so such a load can observe stale own writes
+//     (LDS is exempt — the warp's share is re-zeroed on restart).
+func flushSound(prog *isa.Program) bool {
+	var loads, stores []*isa.Instruction
+	for pc := 0; pc < prog.Len(); pc++ {
+		in := prog.At(pc)
+		switch {
+		case in.Op.Info().Class == isa.ClassAtomic:
+			return false
+		case in.Op == isa.VGLoad || in.Op == isa.SGLoad:
+			loads = append(loads, in)
+		case in.Op == isa.VGStore || in.Op == isa.SGStore:
+			stores = append(stores, in)
+		}
+	}
+	for _, l := range loads {
+		for _, s := range stores {
+			if isa.MayAlias(l, s) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// zeroVRegs re-establishes the launch contract for the vector file.
+func zeroVRegs(prog *isa.Program) []isa.Instruction {
+	out := make([]isa.Instruction, 0, prog.NumVRegs)
+	for i := 0; i < prog.NumVRegs; i++ {
+		out = append(out, isa.Instruction{Op: isa.VMov, Dst: isa.V(i),
+			Srcs: [isa.MaxSrcs]isa.Operand{isa.Imm(0)}})
+	}
+	return out
 }
 
 func (t *flushTech) StaticContextBytes(pc int) int { return t.entryRegs.ContextBytes() }

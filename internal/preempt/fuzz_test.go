@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"ctxback/internal/faults"
+	"ctxback/internal/gen"
 	"ctxback/internal/isa"
 	"ctxback/internal/sim"
 )
@@ -136,6 +137,11 @@ func clampUnit(x float64) float64 {
 	return x
 }
 
+// genCorpusBit selects the seeded SIMT generator (internal/gen) as the
+// fuzzed kernel's source: the remaining seed bits are the generator
+// seed. Loop-program seeds keep exercising the original shape.
+const genCorpusBit = uint64(1) << 63
+
 // FuzzFaultRecovery drives a preempt/resume episode under seeded fault
 // injection and asserts the robustness invariant: every injected fault
 // is either detected in-band (and the episode recoverable through a
@@ -146,16 +152,38 @@ func FuzzFaultRecovery(f *testing.F) {
 	f.Add(uint64(7), 0.9, uint8(0), 0.25)
 	f.Add(uint64(42), 1.0, uint8(5), 0.75)
 	f.Add(uint64(99), 0.05, uint8(2), 0.9)
+	// Generated-corpus seeds: kernels from the differential sweep whose
+	// generator seeds historically exposed technique bugs (divergent
+	// partial definitions, LDS exchange, aliasing streams) — richer
+	// preemption surfaces than the loop programs above.
+	f.Add(genCorpusBit|2, 0.2, uint8(1), 0.5)
+	f.Add(genCorpusBit|6, 0.9, uint8(4), 0.4)
+	f.Add(genCorpusBit|11, 0.05, uint8(3), 0.7)
+	f.Add(genCorpusBit|19, 0.3, uint8(5), 0.6)
+	f.Add(genCorpusBit|745, 0.1, uint8(2), 0.3) // CKPT replay anti-dependence (seed 745)
 	f.Fuzz(func(t *testing.T, seed uint64, rate float64, kindIdx uint8, sigFrac float64) {
 		const maxCycles = 100_000_000
 		rate = clampUnit(rate)
 		sigFrac = 0.9 * clampUnit(sigFrac)
-		prog := genLoopProgram(rand.New(rand.NewSource(int64(seed))), 10)
-		setup := func(w *sim.Warp) { w.SRegs[4] = 10 }
-		launch := func(d *sim.Device) {
-			t.Helper()
-			if _, err := d.Launch(sim.LaunchSpec{Prog: prog, NumBlocks: 2, WarpsPerBlock: 1, Setup: setup}); err != nil {
-				t.Fatal(err)
+		var prog *isa.Program
+		var launch func(d *sim.Device)
+		if seed&genCorpusBit != 0 {
+			gp := gen.Generate(seed &^ genCorpusBit)
+			prog = gp.Prog
+			launch = func(d *sim.Device) {
+				t.Helper()
+				if _, err := gp.Launch(d); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			prog = genLoopProgram(rand.New(rand.NewSource(int64(seed))), 10)
+			setup := func(w *sim.Warp) { w.SRegs[4] = 10 }
+			launch = func(d *sim.Device) {
+				t.Helper()
+				if _, err := d.Launch(sim.LaunchSpec{Prog: prog, NumBlocks: 2, WarpsPerBlock: 1, Setup: setup}); err != nil {
+					t.Fatal(err)
+				}
 			}
 		}
 

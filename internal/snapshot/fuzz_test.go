@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"ctxback/internal/gen"
 	"ctxback/internal/preempt"
 )
 
@@ -30,6 +31,17 @@ func FuzzSnapshotRoundTrip(f *testing.F) {
 		wl := mustWorkload(f, "MS")
 		d, _, _ := parked(f, preempt.CTXBack, wl)
 		_, enc := Capture(d, 99)
+		f.Add(enc)
+	}
+	// Generated-corpus seeds: captures of parked generated programs
+	// reach section shapes the hand-written kernels don't (LDS shares
+	// under divergence, atomics in flight, deep loop contexts). The
+	// generator seeds are ones whose kernels historically exposed
+	// technique bugs, so their parked states are the gnarliest known.
+	for _, genSeed := range []uint64{2, 6, 19} {
+		wl := gen.Generate(genSeed).Workload()
+		d, _, _ := parked(f, preempt.CTXBack, wl)
+		_, enc := Capture(d, 7)
 		f.Add(enc)
 	}
 
