@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke procs-diff shards-diff snap-diff gen-smoke
+.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke serve-smoke procs-diff shards-diff snap-diff gen-smoke
 
 all: build
 
@@ -40,6 +40,26 @@ sched-smoke:
 	$(GO) run ./cmd/schedsim -quick -seed 9 -kinds CTXBack,CKPT -devices 2 -checkpoint-every 40000 -kill-device 0@80000 -warm-pool 1 -statehash > /tmp/ctxback-sched-failover.txt
 	diff -u testdata/sched_failover.golden /tmp/ctxback-sched-failover.txt
 	@echo "sched and failover reports byte-identical"
+
+# serve-smoke is the long-running serving gate: a seeded open-loop
+# bursty+diurnal trace (~167k arrivals over 40M cycles) drives four
+# tenants through admission control, load-aware routing across two
+# devices, and the online hypervisor (share re-arbitration plus one
+# warm-pool rebalancing migration) to drain. The full decision log and
+# SLO tables must be byte-identical to the checked-in golden, and —
+# since cross-device decisions run serially at global barriers — also
+# across worker and shard counts. The golden carries 3 "shares"
+# re-arbitrations and 1 "migrate" warm restore.
+SERVE_SMOKE_ARGS = -serve -quick -kinds CTXBack -iters 2 -sms 2 \
+	-duration 40000000 -gap 400 -tenants 4 -burst 0.25 -diurnal 0.3 \
+	-admit 150 -queue 12 -hypervisor-every 20000 -report-every 400000 \
+	-migrate-threshold 3 -devices 2 -warm-pool 1 -seed 42
+serve-smoke:
+	$(GO) run ./cmd/schedsim $(SERVE_SMOKE_ARGS) -procs 1 -shards 1 > /tmp/ctxback-serve-p1s1.txt
+	diff -u testdata/serve_smoke.golden /tmp/ctxback-serve-p1s1.txt
+	$(GO) run ./cmd/schedsim $(SERVE_SMOKE_ARGS) -procs 4 -shards 2 > /tmp/ctxback-serve-p4s2.txt
+	diff -u testdata/serve_smoke.golden /tmp/ctxback-serve-p4s2.txt
+	@echo "serve decision log and SLO tables byte-identical across -procs/-shards"
 
 # snap-diff guards failover determinism end to end: the per-job
 # slab-digest state witness must be byte-identical between an

@@ -31,6 +31,16 @@
 // is configured) or re-admit to the survivors. -statehash appends the
 // per-job slab-digest witness, which is byte-identical between a killed
 // and an undisturbed run of the same trace.
+//
+// -serve switches to SERVE mode: an open-loop arrival process
+// (-duration, -rate, -process, -burst, -diurnal) flows through
+// per-tenant token-bucket admission control (-admit, -queue) onto
+// -devices simulated GPUs behind deterministic load-aware routing, with
+// an online hypervisor (-hypervisor-every, -migrate-threshold)
+// re-arbitrating per-tenant SM shares from measured demand and
+// rebalancing devices through checkpoint/warm-restore migration. The
+// report is each technique's per-tenant SLO table plus the serving
+// decision log, byte-identical at every -procs and -shards setting.
 package main
 
 import (
@@ -97,6 +107,19 @@ func main() {
 		metrics = flag.Bool("metrics", false, "append per-tenant counters and latency histograms")
 		events  = flag.Bool("events", false, "append each technique's scheduling decision log")
 
+		serve       = flag.Bool("serve", false, "serve mode: open-loop traffic through admission control onto a load-balanced fleet with an online hypervisor")
+		duration    = flag.Int64("duration", 0, "serve mode: generate arrivals for N cycles (0 = use -jobs as a fixed count)")
+		rate        = flag.Float64("rate", 0, "serve mode: mean arrivals per 100k cycles (0 = derive from -gap)")
+		process     = flag.String("process", "poisson", "serve mode: inter-arrival process, uniform or poisson")
+		burst       = flag.Float64("burst", 0, "serve mode: fraction of tenants that arrive in bursts [0,1]")
+		diurnal     = flag.Float64("diurnal", 0, "serve mode: sinusoidal arrival-rate modulation amplitude [0,1)")
+		admitRate   = flag.Int("admit", 0, "serve mode: per-tenant admission budget in jobs per 100k cycles (0 = no admission control)")
+		queue       = flag.Int("queue", 0, "serve mode: per-tenant defer-queue bound before shedding (0 = default 32)")
+		admitEvery  = flag.Int64("admit-every", 0, "serve mode: admission/routing barrier cadence in cycles (0 = default 2000)")
+		reportEvery = flag.Int64("report-every", 0, "serve mode: decision-log window-aggregate cadence in cycles (0 = hypervisor cadence, else 16x admit-every)")
+		hyperEvery  = flag.Int64("hypervisor-every", 0, "serve mode: SM-share re-arbitration cadence in cycles (0 = hypervisor off)")
+		migThresh   = flag.Int("migrate-threshold", 0, "serve mode: outstanding-job imbalance that triggers a migration (0 = default 8, negative = off)")
+
 		devices   = flag.Int("devices", 0, "fleet mode: partition the trace across N devices (0 = single-device comparison)")
 		ckptEvery = flag.Int64("checkpoint-every", 0, "fleet mode: whole-device checkpoint cadence in cycles (0 = no checkpoints)")
 		killSpec  = flag.String("kill-device", "", "fleet mode: chaos-kill device ID at CYCLE, as ID@CYCLE (e.g. 0@80000)")
@@ -114,8 +137,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "schedsim:", err)
 		os.Exit(1)
 	}
-	if *jobs <= 0 || *tenants <= 0 || *gap <= 0 || *prio < 0 || *sms <= 0 || *iters <= 0 {
+	if (*jobs <= 0 && !(*serve && *duration > 0)) || *tenants <= 0 || *gap <= 0 || *prio < 0 || *sms <= 0 || *iters <= 0 {
 		usageErr("-jobs, -tenants, -gap, -sms and -iters must be positive; -prio must be >= 0")
+	}
+	if *duration < 0 || *rate < 0 || *admitRate < 0 || *queue < 0 || *admitEvery < 0 || *hyperEvery < 0 || *reportEvery < 0 {
+		usageErr("-duration, -rate, -admit, -queue, -admit-every, -report-every and -hypervisor-every must be >= 0")
+	}
+	if *burst < 0 || *burst > 1 {
+		usageErr("-burst must be in [0,1], got %g", *burst)
+	}
+	if *diurnal < 0 || *diurnal >= 1 {
+		usageErr("-diurnal must be in [0,1), got %g", *diurnal)
+	}
+	if *process != "uniform" && *process != "poisson" {
+		usageErr("-process must be uniform or poisson, got %q", *process)
+	}
+	if *serve && (*killSpec != "" || *ckptEvery > 0 || *statehash) {
+		usageErr("-serve is incompatible with -kill-device, -checkpoint-every and -statehash")
 	}
 	if *procs < 0 {
 		usageErr("-procs must be >= 0, got %d", *procs)
@@ -132,7 +170,7 @@ func main() {
 	if *warmPool < 0 {
 		usageErr("-warm-pool must be >= 0, got %d", *warmPool)
 	}
-	fleet := *devices > 0 || *ckptEvery > 0 || *killSpec != "" || *warmPool > 0 || *statehash
+	fleet := !*serve && (*devices > 0 || *ckptEvery > 0 || *killSpec != "" || *warmPool > 0 || *statehash)
 	fo := sched.FailoverConfig{
 		Devices:         *devices,
 		CheckpointEvery: *ckptEvery,
@@ -184,6 +222,53 @@ func main() {
 	sc.Shards = *shards
 	if *metrics {
 		sc.Metrics = trace.NewRegistry()
+	}
+
+	if *serve {
+		tc.Process = *process
+		tc.DurationCycles = *duration
+		tc.BurstFraction = *burst
+		tc.DiurnalAmplitude = *diurnal
+		if *duration > 0 {
+			tc.NumJobs = 0 // open loop: the duration bounds the trace
+		}
+		if *rate > 0 {
+			g := int64(100_000 / *rate)
+			if g < 1 {
+				g = 1
+			}
+			tc.MeanGapCycles = g
+		}
+		jobsList, err := sched.GenTrace(tc)
+		if err != nil {
+			fail(err)
+		}
+		svc := sched.ServeConfig{
+			Sched:       sc,
+			Devices:     *devices,
+			Workers:     *procs,
+			AdmitEvery:  *admitEvery,
+			ReportEvery: *reportEvery,
+			WarmPool:    *warmPool,
+			Admit:       sched.AdmitConfig{TokensPer100k: *admitRate, MaxQueue: *queue},
+			Hypervisor:  sched.HypervisorConfig{Every: *hyperEvery, MigrateThreshold: *migThresh},
+		}
+		for i, k := range kinds {
+			if i > 0 {
+				fmt.Println()
+			}
+			res, err := sched.Serve(svc, k, jobsList)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(res.Render())
+			fmt.Printf("%s decision log:\n%s", res.Kind, res.EventLog())
+		}
+		if *metrics {
+			fmt.Println()
+			fmt.Println(sc.Metrics.Render())
+		}
+		return
 	}
 
 	if fleet {

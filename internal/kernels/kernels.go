@@ -95,18 +95,24 @@ func All(p Params) ([]*Workload, error) {
 	return out, nil
 }
 
+// factories maps each Table I abbreviation to its factory, so ByAbbrev
+// can instantiate ONE workload instead of building all twelve and
+// discarding eleven (host-side input generation and golden references —
+// mergesort's sorted copy in particular — dominate construction, and a
+// scheduler admitting thousands of jobs calls this per job).
+var factories = map[string]Factory{
+	"AP": NewAP, "DC": NewDC, "DOT": NewDOT, "GE": NewGE, "HS": NewHS,
+	"KM": NewKM, "LRN": NewLRN, "MM": NewMM, "MS": NewMS, "MV": NewMV,
+	"RELU": NewRELU, "VA": NewVA,
+}
+
 // ByAbbrev instantiates one workload by its Table I abbreviation.
 func ByAbbrev(abbrev string, p Params) (*Workload, error) {
-	all, err := All(p)
-	if err != nil {
-		return nil, err
+	f, ok := factories[abbrev]
+	if !ok {
+		return nil, fmt.Errorf("kernels: unknown benchmark %q", abbrev)
 	}
-	for _, w := range all {
-		if w.Abbrev == abbrev {
-			return w, nil
-		}
-	}
-	return nil, fmt.Errorf("kernels: unknown benchmark %q", abbrev)
+	return f(p)
 }
 
 // Launch places the workload on the device.

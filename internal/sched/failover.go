@@ -177,8 +177,19 @@ func (s *scheduler) checkpoint(epoch uint64) (*ckpt, error) {
 	for i, e := range idx.Episodes {
 		eidx[e] = i
 	}
-	c := &ckpt{epoch: epoch, cycle: s.d.Now(), enc: enc,
-		progs: append([]*isa.Program(nil), s.progOrder...)}
+	// The program list must mirror the export's first-seen-in-launch
+	// order exactly: ImportState resolves embedded programs positionally.
+	// Deriving it from the export (not progOrder) also keeps it correct
+	// when completed launches have been pruned from the device.
+	var progs []*isa.Program
+	seenProg := make(map[*isa.Program]bool)
+	for _, l := range idx.Launches {
+		if !seenProg[l.Spec.Prog] {
+			seenProg[l.Spec.Prog] = true
+			progs = append(progs, l.Spec.Prog)
+		}
+	}
+	c := &ckpt{epoch: epoch, cycle: s.d.Now(), enc: enc, progs: progs}
 	c.meta.nDone = s.nDone
 	jobPos := make(map[*runJob]int, len(s.jobs))
 	for i, j := range s.jobs {
@@ -249,9 +260,16 @@ func restoreFrom(c *ckpt, cfg Config, kind preempt.Kind, orig []*runJob,
 		s.progSeen[p] = true
 	}
 	kept := make(map[int]*runJob, len(orig))
+	nDone := 0
 	for i, jm := range c.meta.jobs {
 		if jm.launchIdx < 0 {
+			// Unlaunched (the caller re-admits it) or completed and
+			// pruned from the image (it owes nothing): either way the
+			// restored scheduler does not carry it.
 			continue
+		}
+		if jm.complete != 0 {
+			nDone++
 		}
 		o := orig[i]
 		rj := &runJob{job: o.job, wl: o.wl, admitAt: o.admitAt, sm: jm.sm,
@@ -265,7 +283,7 @@ func restoreFrom(c *ckpt, cfg Config, kind preempt.Kind, orig []*runJob,
 		s.jobs = append(s.jobs, rj)
 	}
 	s.nextArr = len(s.jobs)
-	s.nDone = c.meta.nDone
+	s.nDone = nDone
 	for i, sm := range c.meta.slots {
 		sl := &smSlot{id: i, state: sm.state}
 		link := func(pos int) (*runJob, error) {
@@ -627,11 +645,14 @@ func failover(fr *FleetResult, cfg Config, kind preempt.Kind, fo FailoverConfig,
 	if len(targets) == 0 && newID >= 0 {
 		targets = []int{newID}
 	}
+	// Orphans route to the least-loaded target (fewest outstanding jobs,
+	// ties to the lower device id); each readmit updates the load the
+	// next one sees.
 	if len(readmit) > 0 && len(targets) == 0 {
 		return nil, nil, nil, nil, errors.New("sched: no device left to re-admit jobs onto")
 	}
-	for i, rj := range readmit {
-		tgt := targets[i%len(targets)]
+	for _, rj := range readmit {
+		tgt := leastLoaded(scheds, targets)
 		at := kill - offsets[tgt]
 		if at < 0 {
 			at = 0
@@ -647,6 +668,21 @@ func failover(fr *FleetResult, cfg Config, kind preempt.Kind, fo FailoverConfig,
 		}
 	}
 	return scheds, done, offsets, ckpts, nil
+}
+
+// leastLoaded picks the readmission target deterministically: the
+// device with the fewest outstanding (admitted, not yet complete) jobs;
+// ties resolve to the lower device id.
+func leastLoaded(scheds []*scheduler, targets []int) int {
+	tgt := targets[0]
+	for _, cand := range targets[1:] {
+		co := len(scheds[cand].jobs) - scheds[cand].nDone
+		to := len(scheds[tgt].jobs) - scheds[tgt].nDone
+		if co < to || (co == to && cand < tgt) {
+			tgt = cand
+		}
+	}
+	return tgt
 }
 
 // assembleFleet folds every surviving scheduler's job state and the

@@ -240,3 +240,36 @@ func TestFleetConfigValidation(t *testing.T) {
 		t.Error("empty trace accepted")
 	}
 }
+
+// TestLeastLoadedReadmit pins the load-aware readmission pick: orphans
+// go to the device with the fewest outstanding jobs, ties to the lower
+// id, and each pick sees the previous one's load.
+func TestLeastLoadedReadmit(t *testing.T) {
+	mk := func(total, done int) *scheduler {
+		s := &scheduler{nDone: done}
+		for i := 0; i < total; i++ {
+			s.jobs = append(s.jobs, &runJob{})
+		}
+		return s
+	}
+	scheds := []*scheduler{mk(5, 0), mk(3, 3), mk(4, 2)}
+	targets := []int{0, 1, 2}
+	if got := leastLoaded(scheds, targets); got != 1 {
+		t.Fatalf("leastLoaded = %d, want 1 (zero outstanding)", got)
+	}
+	// Simulate the readmit: device 1 takes the orphan, then ties device 2
+	// at 2 outstanding... no — device 1 now has 1, still lightest.
+	scheds[1].jobs = append(scheds[1].jobs, &runJob{})
+	if got := leastLoaded(scheds, targets); got != 1 {
+		t.Fatalf("after one readmit leastLoaded = %d, want 1", got)
+	}
+	scheds[1].jobs = append(scheds[1].jobs, &runJob{})
+	// Device 1 and 2 both at 2 outstanding: the tie goes to the lower id.
+	if got := leastLoaded(scheds, targets); got != 1 {
+		t.Fatalf("tie leastLoaded = %d, want 1 (lower id)", got)
+	}
+	// Restrict targets: only 0 and 2 survive.
+	if got := leastLoaded(scheds, []int{0, 2}); got != 2 {
+		t.Fatalf("restricted leastLoaded = %d, want 2", got)
+	}
+}

@@ -42,20 +42,51 @@ type TraceConfig struct {
 	// MaxPriority bounds the priority draw: priorities are uniform in
 	// [0, MaxPriority].
 	MaxPriority int
-	// MeanGapCycles is the mean inter-arrival gap; gaps are uniform in
-	// [0, 2*MeanGapCycles].
+	// MeanGapCycles is the mean inter-arrival gap.
 	MeanGapCycles int64
 	// Kernels is the abbreviation pool jobs draw from. Empty uses
 	// DefaultKernelPool (the Table-I kernels every extended technique,
 	// including SM-flushing, can compile).
 	Kernels []string
+
+	// Process selects the inter-arrival process. "" and "uniform" draw
+	// gaps uniform in [0, 2*MeanGapCycles] — byte-compatible with traces
+	// generated before the knob existed. "poisson" draws exponential
+	// gaps, the memoryless open-loop arrivals a serving system sees.
+	Process string
+	// DurationCycles, when > 0, ends the trace at the first arrival past
+	// the horizon. With NumJobs > 0 both bounds apply; with NumJobs == 0
+	// the horizon is the sole bound (open-loop generation).
+	DurationCycles int64
+	// DiurnalAmplitude in [0, 1) modulates the arrival rate sinusoidally:
+	// the instantaneous rate is the base rate times
+	// 1 + A*sin(2*pi*t/DiurnalPeriod), so peaks arrive A times faster
+	// than the mean and troughs A times slower.
+	DiurnalAmplitude float64
+	// DiurnalPeriod is the modulation period in cycles; 0 defaults to
+	// 256*MeanGapCycles.
+	DiurnalPeriod int64
+	// BurstFraction in [0, 1] marks the lowest ceil(frac*NumTenants)
+	// tenant ids as bursty: each of their arrivals expands into a run of
+	// closely spaced jobs (mean run length BurstLen, intra-run gaps
+	// around MeanGapCycles/8).
+	BurstFraction float64
+	// BurstLen is the mean burst run length for bursty tenants; 0
+	// defaults to 4 when BurstFraction > 0.
+	BurstLen int
 }
 
-// GenTrace expands the config into a concrete arrival trace. The same
-// config always yields the same trace (single seeded source, fixed draw
-// order: gap, tenant, kernel, priority per job).
-func GenTrace(tc TraceConfig) ([]Job, error) {
-	if tc.NumJobs <= 0 {
+// maxTraceJobs caps open-loop generation so a mis-scaled rate/duration
+// pair fails loudly instead of allocating without bound.
+const maxTraceJobs = 5_000_000
+
+// validate applies defaults and rejects configurations whose draws
+// would overflow or never terminate.
+func (tc *TraceConfig) validate() error {
+	if tc.NumJobs < 0 {
+		return fmt.Errorf("sched: NumJobs %d is negative", tc.NumJobs)
+	}
+	if tc.NumJobs == 0 && tc.DurationCycles <= 0 {
 		tc.NumJobs = 8
 	}
 	if tc.NumTenants <= 0 {
@@ -67,58 +98,164 @@ func GenTrace(tc TraceConfig) ([]Job, error) {
 	if tc.MeanGapCycles <= 0 {
 		tc.MeanGapCycles = 20_000
 	}
+	// The uniform draw is Int63n(2*mean+1): beyond half the int64 range
+	// the bound wraps negative and Int63n panics.
+	if tc.MeanGapCycles > math.MaxInt64/2-1 {
+		return fmt.Errorf("sched: MeanGapCycles %d overflows the uniform gap draw (max %d)",
+			tc.MeanGapCycles, int64(math.MaxInt64/2-1))
+	}
+	switch tc.Process {
+	case "", "uniform", "poisson":
+	default:
+		return fmt.Errorf("sched: unknown arrival process %q (want uniform or poisson)", tc.Process)
+	}
+	if tc.DiurnalAmplitude < 0 || tc.DiurnalAmplitude >= 1 {
+		return fmt.Errorf("sched: DiurnalAmplitude %v outside [0, 1)", tc.DiurnalAmplitude)
+	}
+	if tc.DiurnalAmplitude > 0 && tc.DiurnalPeriod <= 0 {
+		tc.DiurnalPeriod = 256 * tc.MeanGapCycles
+	}
+	if tc.BurstFraction < 0 || tc.BurstFraction > 1 {
+		return fmt.Errorf("sched: BurstFraction %v outside [0, 1]", tc.BurstFraction)
+	}
+	if tc.BurstFraction > 0 && tc.BurstLen <= 0 {
+		tc.BurstLen = 4
+	}
+	return nil
+}
+
+// GenTrace expands the config into a concrete arrival trace. The same
+// config always yields the same trace (single seeded source, fixed draw
+// order: gap, tenant, kernel, priority per job). With the process,
+// diurnal and burst knobs at their zero values the draw sequence is
+// byte-identical to the original uniform generator.
+func GenTrace(tc TraceConfig) ([]Job, error) {
+	if err := tc.validate(); err != nil {
+		return nil, err
+	}
 	pool := tc.Kernels
 	if len(pool) == 0 {
-		pool = DefaultKernelPool()
-	}
-	if len(pool) == 0 {
-		return nil, errors.New("sched: empty kernel pool")
+		var err error
+		pool, err = DefaultKernelPool()
+		if err != nil {
+			return nil, err
+		}
 	}
 	rng := rand.New(rand.NewSource(tc.Seed))
-	jobs := make([]Job, tc.NumJobs)
+	burstyTenants := int(math.Ceil(tc.BurstFraction * float64(tc.NumTenants)))
+	var jobs []Job
 	var arrival int64
-	for i := range jobs {
-		arrival += rng.Int63n(2*tc.MeanGapCycles + 1)
-		jobs[i] = Job{
-			ID:       i,
-			Tenant:   rng.Intn(tc.NumTenants),
+	burstLeft, burstTenant := 0, 0
+	for {
+		if tc.NumJobs > 0 && len(jobs) >= tc.NumJobs {
+			break
+		}
+		if len(jobs) >= maxTraceJobs {
+			return nil, fmt.Errorf("sched: trace exceeds %d jobs before the %d-cycle horizon; raise the gap or shrink the duration",
+				maxTraceJobs, tc.DurationCycles)
+		}
+		var tenant int
+		if burstLeft > 0 {
+			intra := tc.MeanGapCycles / 8
+			if intra < 1 {
+				intra = 1
+			}
+			arrival += 1 + rng.Int63n(intra)
+			tenant = burstTenant
+			burstLeft--
+		} else {
+			arrival += drawGap(rng, tc, arrival)
+			tenant = rng.Intn(tc.NumTenants)
+			if tenant < burstyTenants {
+				// This arrival heads a run; the rest follow at intra-burst
+				// gaps. Mean extra length BurstLen-1 keeps the run mean at
+				// BurstLen.
+				burstLeft = rng.Intn(2*tc.BurstLen - 1)
+				burstTenant = tenant
+			}
+		}
+		if tc.DurationCycles > 0 && arrival > tc.DurationCycles {
+			break
+		}
+		jobs = append(jobs, Job{
+			ID:       len(jobs),
+			Tenant:   tenant,
 			Kernel:   pool[rng.Intn(len(pool))],
 			Arrival:  arrival,
 			Priority: rng.Intn(tc.MaxPriority + 1),
-		}
+		})
 	}
 	return jobs, nil
 }
 
+// drawGap draws one inter-arrival gap at trace time t under the
+// configured process and diurnal modulation.
+func drawGap(rng *rand.Rand, tc TraceConfig, t int64) int64 {
+	m := tc.MeanGapCycles
+	if tc.DiurnalAmplitude > 0 {
+		rate := 1 + tc.DiurnalAmplitude*math.Sin(2*math.Pi*float64(t)/float64(tc.DiurnalPeriod))
+		m = int64(float64(m) / rate)
+		switch {
+		case m < 1:
+			m = 1
+		case m > math.MaxInt64/2-1:
+			m = math.MaxInt64/2 - 1
+		}
+	}
+	if tc.Process == "poisson" {
+		g := rng.ExpFloat64() * float64(m)
+		if g >= math.MaxInt64/4 {
+			g = math.MaxInt64 / 4
+		}
+		return int64(g)
+	}
+	// Uniform in [0, 2*mean]. With no diurnal modulation this stays the
+	// historical Int63n(2*MeanGapCycles+1) draw on the untouched int64,
+	// byte-compatible with pre-knob traces.
+	return rng.Int63n(2*m + 1)
+}
+
 var (
-	poolOnce sync.Once
+	poolMu   sync.Mutex
 	poolList []string
+	poolDone bool
 )
 
 // DefaultKernelPool returns the Table-I kernels whose programs every
 // extended technique can compile. SM-flushing refuses non-idempotent
 // kernels, so a trace meant to compare all eight techniques must draw
 // from this subset; the filter is computed once, in registry order.
-func DefaultKernelPool() []string {
-	poolOnce.Do(func() {
-		wls, err := kernels.All(kernels.TestParams())
-		if err != nil {
-			return
-		}
-		for _, wl := range wls {
-			ok := true
-			for _, k := range preempt.ExtendedKinds() {
-				if _, err := preempt.New(k, wl.Prog); err != nil {
-					ok = false
-					break
-				}
+// Only success is memoized — a transient construction failure is
+// reported to the caller and retried on the next call rather than
+// pinning every future trace to an empty pool.
+func DefaultKernelPool() ([]string, error) {
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	if poolDone {
+		return append([]string(nil), poolList...), nil
+	}
+	wls, err := kernels.All(kernels.TestParams())
+	if err != nil {
+		return nil, fmt.Errorf("sched: default kernel pool: %w", err)
+	}
+	var list []string
+	for _, wl := range wls {
+		ok := true
+		for _, k := range preempt.ExtendedKinds() {
+			if _, err := preempt.New(k, wl.Prog); err != nil {
+				ok = false
+				break
 			}
-			if ok {
-				poolList = append(poolList, wl.Abbrev)
-			}
 		}
-	})
-	return append([]string(nil), poolList...)
+		if ok {
+			list = append(list, wl.Abbrev)
+		}
+	}
+	if len(list) == 0 {
+		return nil, errors.New("sched: default kernel pool is empty")
+	}
+	poolList, poolDone = list, true
+	return append([]string(nil), poolList...), nil
 }
 
 // Config configures one scheduled run.
@@ -229,6 +366,12 @@ type scheduler struct {
 	// scheduler's device (the fleet layer copies results host-side at
 	// this point, so a later device kill cannot lose delivered output).
 	onComplete func(*runJob)
+
+	// quota, when non-nil, caps each tenant's concurrently held SMs on
+	// this device (the serving hypervisor's share re-arbitration writes
+	// it at window boundaries). Tenants absent from the map hold 0, so a
+	// populated map must cover every admissible tenant.
+	quota map[int]int
 
 	events []Event
 	nDone  int
@@ -426,6 +569,15 @@ func (s *scheduler) runTo(stop int64) (bool, error) {
 			s.d.AdvanceTo(adv)
 			continue
 		}
+		// A quota-stalled device is not deadlocked: every queued or
+		// parked job belongs to a tenant at its SM cap, and only a
+		// completion elsewhere in the window or the hypervisor's next
+		// re-arbitration can free it. Pause at the window boundary and
+		// report "not done" instead of erroring.
+		if s.quotaStalled(stop) {
+			s.d.AdvanceTo(stop)
+			return false, nil
+		}
 		// The ready queue's O(1) head peek distinguishes a truly empty
 		// device from an indexed issue that never became runnable (which
 		// would indicate a scheduler bug, not a workload deadlock).
@@ -436,6 +588,24 @@ func (s *scheduler) runTo(stop int64) (bool, error) {
 		return false, fmt.Errorf("sched: deadlock at cycle %d: %d/%d jobs complete, nothing runnable (no pending issue indexed)",
 			s.d.Now(), s.nDone, len(s.jobs))
 	}
+}
+
+// quotaStalled reports whether the only thing keeping this device from
+// progressing is the tenant quota map: there is pending work (waiting
+// or parked) but every candidate's tenant is at its cap. Only
+// meaningful at a finite pause boundary — a whole-run drive to
+// MaxInt64 must surface the stall as the deadlock it would be.
+func (s *scheduler) quotaStalled(stop int64) bool {
+	if s.quota == nil || stop == math.MaxInt64 {
+		return false
+	}
+	pending := len(s.waiting) > 0
+	for _, sl := range s.slots {
+		if len(sl.parked) > 0 {
+			pending = true
+		}
+	}
+	return pending
 }
 
 func (s *scheduler) eventReady() bool {
@@ -461,9 +631,28 @@ func (s *scheduler) eventReady() bool {
 	return false
 }
 
+// tenantActive counts the SMs tenant t currently holds or is acquiring
+// on this device: a Running/Resuming slot's active job and a Saving
+// slot's incoming job (the outgoing victim is releasing, not holding).
+func (s *scheduler) tenantActive(t int) int {
+	n := 0
+	for _, sl := range s.slots {
+		if sl.state != smIdle && sl.cur != nil && sl.cur.job.Tenant == t {
+			n++
+		}
+	}
+	return n
+}
+
+// underQuota reports whether tenant t may take one more SM here.
+func (s *scheduler) underQuota(t int) bool {
+	return s.quota == nil || s.tenantActive(t) < s.quota[t]
+}
+
 // admitArrivals admits every job whose admission cycle has passed:
 // place on an idle SM, else preempt the lowest-priority strictly-lower
-// running job, else queue.
+// running job, else queue. A tenant at its SM quota queues regardless —
+// completions and the next re-arbitration free it.
 func (s *scheduler) admitArrivals() (bool, error) {
 	changed := false
 	for s.nextArr < len(s.jobs) && s.jobs[s.nextArr].admitAt <= s.d.Now() {
@@ -471,7 +660,11 @@ func (s *scheduler) admitArrivals() (bool, error) {
 		s.nextArr++
 		changed = true
 		s.log(j.admitAt, "arrive", j.job.ID, -1)
-		if sl := s.pickIdle(); sl != nil {
+		if !s.underQuota(j.job.Tenant) {
+			s.waiting = append(s.waiting, j)
+			continue
+		}
+		if sl := s.pickIdle(j); sl != nil {
 			if err := s.place(j, sl); err != nil {
 				return false, err
 			}
@@ -488,10 +681,13 @@ func (s *scheduler) admitArrivals() (bool, error) {
 	return changed, nil
 }
 
-// pickIdle returns the lowest-numbered idle SM, or nil.
-func (s *scheduler) pickIdle() *smSlot {
+// pickIdle returns the lowest-numbered idle SM with physical headroom
+// for at least one of j's blocks, or nil. An idle SM can still be
+// crowded by done-warp residue of parked tenants; placing a grid that
+// lands zero blocks would wedge the slot (nothing resident, no event).
+func (s *scheduler) pickIdle(j *runJob) *smSlot {
 	for _, sl := range s.slots {
-		if sl.state == smIdle {
+		if sl.state == smIdle && s.d.CanHostBlock(sl.id, j.wl.Prog, j.wl.WarpsPerBlock) {
 			return sl
 		}
 	}
@@ -500,11 +696,17 @@ func (s *scheduler) pickIdle() *smSlot {
 
 // pickVictim returns the Running slot whose job has the lowest priority
 // strictly below j's (ties: latest arrival — preempt the newest work —
-// then lowest SM id), or nil when no running job may be displaced.
+// then lowest SM id), or nil when no running job may be displaced. A
+// slot that even after saving its victim could not host one of j's
+// blocks is not a candidate: the displacement would evict a job without
+// getting the newcomer resident.
 func (s *scheduler) pickVictim(j *runJob) *smSlot {
 	var best *smSlot
 	for _, sl := range s.slots {
 		if sl.state != smRunning || sl.cur.job.Priority >= j.job.Priority {
+			continue
+		}
+		if !s.d.CanDisplace(sl.id, sl.cur.launch, j.wl.Prog, j.wl.WarpsPerBlock) {
 			continue
 		}
 		if best == nil {
@@ -548,6 +750,21 @@ func (s *scheduler) preemptFor(j *runJob, sl *smSlot) error {
 	}
 	if err != nil {
 		return fmt.Errorf("sched: preempting job %d for job %d: %w", sl.cur.job.ID, j.job.ID, err)
+	}
+	// The episode must have swept exactly the victim job's warps: a
+	// foreign victim means another launch had live warps on the SM, and
+	// resuming that episode through this job would restore state the
+	// scheduler attributes to someone else. Fail loudly — a silent mixed
+	// episode wedges the slot forever.
+	own := make(map[*sim.Warp]bool, len(sl.cur.launch.Warps))
+	for _, w := range sl.cur.launch.Warps {
+		own[w] = true
+	}
+	for _, vw := range ep.Victims {
+		if !own[vw] {
+			return fmt.Errorf("sched: preempting job %d on SM %d swept warp %d of a different launch (%s)",
+				sl.cur.job.ID, sl.id, vw.ID, vw.Prog.Name)
+		}
 	}
 	v := sl.cur
 	v.episode = ep
@@ -661,8 +878,8 @@ func (s *scheduler) assignIdle() (bool, error) {
 		if sl.state != smIdle {
 			continue
 		}
-		wi := bestIndex(s.waiting)
-		pi := bestIndex(sl.parked)
+		wi := s.bestStartable(sl, s.waiting)
+		pi := s.bestResumable(sl.parked)
 		if wi < 0 && pi < 0 {
 			continue
 		}
@@ -703,6 +920,65 @@ func jobLess(a, b Job) bool {
 func bestIndex(js []*runJob) int {
 	best := -1
 	for i, j := range js {
+		if best < 0 || jobLess(j.job, js[best].job) {
+			best = i
+		}
+	}
+	return best
+}
+
+// bestEligible is bestIndex restricted to jobs whose tenant is under
+// its SM quota; with no quota map it is exactly bestIndex.
+// bestResumable is bestEligible restricted to parked victims whose SM
+// has physical headroom to take them back right now. Retired warps of a
+// partially-finished block keep their slots until the whole block
+// completes, so an SM can carry residue from several parked tenants;
+// the most recently parked victim always fits (its launch fit alongside
+// all of today's residue), so skipping unresumable ones cannot deadlock.
+func (s *scheduler) bestResumable(parked []*runJob) int {
+	best := -1
+	for i, j := range parked {
+		if !s.d.CanResume(j.episode) {
+			continue
+		}
+		if s.quota != nil && !s.underQuota(j.job.Tenant) {
+			continue
+		}
+		if best < 0 || jobLess(j.job, parked[best].job) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (s *scheduler) bestEligible(js []*runJob) int {
+	if s.quota == nil {
+		return bestIndex(js)
+	}
+	best := -1
+	for i, j := range js {
+		if !s.underQuota(j.job.Tenant) {
+			continue
+		}
+		if best < 0 || jobLess(j.job, js[best].job) {
+			best = i
+		}
+	}
+	return best
+}
+
+// bestStartable is bestEligible restricted to jobs slot sl can
+// physically host right now (see pickIdle for why a zero-block
+// placement must never happen).
+func (s *scheduler) bestStartable(sl *smSlot, js []*runJob) int {
+	best := -1
+	for i, j := range js {
+		if !s.d.CanHostBlock(sl.id, j.wl.Prog, j.wl.WarpsPerBlock) {
+			continue
+		}
+		if s.quota != nil && !s.underQuota(j.job.Tenant) {
+			continue
+		}
 		if best < 0 || jobLess(j.job, js[best].job) {
 			best = i
 		}

@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"math"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -12,7 +14,10 @@ import (
 )
 
 func TestDefaultKernelPool(t *testing.T) {
-	pool := DefaultKernelPool()
+	pool, err := DefaultKernelPool()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(pool) == 0 {
 		t.Fatal("default kernel pool is empty")
 	}
@@ -32,7 +37,11 @@ func TestDefaultKernelPool(t *testing.T) {
 			}
 		}
 	}
-	if !reflect.DeepEqual(pool, DefaultKernelPool()) {
+	again, err := DefaultKernelPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pool, again) {
 		t.Error("pool not stable across calls")
 	}
 }
@@ -152,7 +161,10 @@ func TestScheduleDeterministicRepeats(t *testing.T) {
 func TestPriorityPreemption(t *testing.T) {
 	cfg := testSchedConfig()
 	cfg.Dev.NumSMs = 1
-	pool := DefaultKernelPool()
+	pool, err := DefaultKernelPool()
+	if err != nil {
+		t.Fatal(err)
+	}
 	jobs := []Job{
 		{ID: 0, Tenant: 0, Kernel: pool[0], Arrival: 0, Priority: 0},
 		{ID: 1, Tenant: 1, Kernel: pool[1%len(pool)], Arrival: 2_000, Priority: 5},
@@ -220,5 +232,156 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 	if percentile(nil, 0.5) != 0 {
 		t.Error("empty percentile should be 0")
+	}
+}
+
+// TestPercentileExactRank pins percentile against the exact nearest
+// rank at the (q, n) shapes SLO tables report: over 1..100, p99 is the
+// 99th value and p7 the 7th — the old float ceiling inflated both.
+func TestPercentileExactRank(t *testing.T) {
+	s := make([]int64, 100)
+	for i := range s {
+		s[i] = int64(i + 1)
+	}
+	cases := []struct {
+		q    float64
+		want int64
+	}{{0.07, 7}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100}}
+	for _, c := range cases {
+		if got := percentile(s, c.q); got != c.want {
+			t.Errorf("percentile(%v) over 1..100 = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+// TestGenTraceValidation checks the config validation added with the
+// process knobs: oversized gaps must error instead of panicking inside
+// rand.Int63n, and malformed knobs are rejected.
+func TestGenTraceValidation(t *testing.T) {
+	bad := []TraceConfig{
+		{Seed: 1, NumJobs: 4, MeanGapCycles: math.MaxInt64/2 + 7},
+		{Seed: 1, NumJobs: 4, Process: "pareto"},
+		{Seed: 1, NumJobs: 4, DiurnalAmplitude: 1.5},
+		{Seed: 1, NumJobs: 4, DiurnalAmplitude: -0.1},
+		{Seed: 1, NumJobs: 4, BurstFraction: 1.2},
+		{Seed: 1, NumJobs: -2},
+	}
+	for i, tc := range bad {
+		if _, err := GenTrace(tc); err == nil {
+			t.Errorf("config %d: expected error, got none", i)
+		}
+	}
+	// The largest legal gap must draw without panicking.
+	if _, err := GenTrace(TraceConfig{Seed: 1, NumJobs: 2, MeanGapCycles: math.MaxInt64/2 - 1}); err != nil {
+		t.Errorf("max legal MeanGapCycles rejected: %v", err)
+	}
+}
+
+// TestGenTraceUniformCompat checks that the zero-valued knobs leave the
+// historical uniform draw sequence untouched: "" and "uniform" produce
+// identical traces.
+func TestGenTraceUniformCompat(t *testing.T) {
+	base := TraceConfig{Seed: 11, NumJobs: 12, NumTenants: 4}
+	a, err := GenTrace(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Process = "uniform"
+	b, err := GenTrace(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("explicit uniform process changed the trace")
+	}
+}
+
+// TestGenTracePoissonOpenLoop generates an open-loop poisson trace
+// bounded by a horizon and checks shape: monotone arrivals inside the
+// horizon, roughly duration/gap jobs, deterministic across calls.
+func TestGenTracePoissonOpenLoop(t *testing.T) {
+	tc := TraceConfig{Seed: 5, NumTenants: 4, MeanGapCycles: 1000,
+		Process: "poisson", DurationCycles: 1_000_000}
+	a, err := GenTrace(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GenTrace(tc)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("poisson trace not deterministic")
+	}
+	if len(a) < 500 || len(a) > 2000 {
+		t.Fatalf("open-loop trace has %d jobs; want about duration/gap = 1000", len(a))
+	}
+	for i, j := range a {
+		if j.Arrival > tc.DurationCycles {
+			t.Fatalf("job %d arrives at %d, past the %d horizon", i, j.Arrival, tc.DurationCycles)
+		}
+		if i > 0 && j.Arrival < a[i-1].Arrival {
+			t.Fatal("arrivals not monotone")
+		}
+	}
+}
+
+// TestGenTraceBursts marks half the tenants bursty and checks the
+// bursty tenants' arrivals cluster much tighter than the smooth ones.
+func TestGenTraceBursts(t *testing.T) {
+	tc := TraceConfig{Seed: 9, NumJobs: 400, NumTenants: 4, MeanGapCycles: 10_000,
+		Process: "poisson", BurstFraction: 0.5, BurstLen: 6}
+	jobs, err := GenTrace(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenants 0,1 are bursty. Median gap between a bursty tenant's
+	// consecutive jobs should be far below the smooth tenants'.
+	gaps := func(tenant ...int) []int64 {
+		want := map[int]bool{}
+		for _, tn := range tenant {
+			want[tn] = true
+		}
+		var last int64 = -1
+		var out []int64
+		for _, j := range jobs {
+			if !want[j.Tenant] {
+				continue
+			}
+			if last >= 0 {
+				out = append(out, j.Arrival-last)
+			}
+			last = j.Arrival
+		}
+		sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+		return out
+	}
+	bg, sg := gaps(0, 1), gaps(2, 3)
+	if len(bg) < 20 || len(sg) < 20 {
+		t.Fatalf("too few gaps to compare: bursty=%d smooth=%d", len(bg), len(sg))
+	}
+	bmed, smed := bg[len(bg)/2], sg[len(sg)/2]
+	if bmed*4 > smed {
+		t.Errorf("bursty median gap %d not well below smooth median %d", bmed, smed)
+	}
+}
+
+// TestGenTraceDiurnal modulates the rate with a full-period sinusoid
+// and checks the peak half-period holds measurably more arrivals.
+func TestGenTraceDiurnal(t *testing.T) {
+	tc := TraceConfig{Seed: 3, NumTenants: 2, MeanGapCycles: 1000,
+		Process: "poisson", DurationCycles: 2_000_000,
+		DiurnalAmplitude: 0.8, DiurnalPeriod: 2_000_000}
+	jobs, err := GenTrace(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak, trough int
+	for _, j := range jobs {
+		if j.Arrival < tc.DurationCycles/2 {
+			peak++
+		} else {
+			trough++
+		}
+	}
+	if peak < trough*2 {
+		t.Errorf("diurnal peak half has %d arrivals vs trough %d; want a clear skew", peak, trough)
 	}
 }

@@ -52,19 +52,16 @@ type Result struct {
 }
 
 // percentile returns the exact nearest-rank q-percentile of sorted
-// samples (q in [0,1]).
+// samples (q in [0,1]). The rank comes from trace.NearestRank, which
+// computes ceil(q*n) exactly; the float ceiling used before drifted one
+// rank high at the (q, n) pairs where q*n is an integer but the float
+// product rounds above it — 0.99 at n=100 reported the maximum instead
+// of the 99th rank, inflating every affected tail percentile.
 func percentile(sorted []int64, q float64) int64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(q * float64(len(sorted)))
-	if float64(rank) < q*float64(len(sorted)) || rank == 0 {
-		rank++
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
+	return sorted[trace.NearestRank(int64(len(sorted)), q)-1]
 }
 
 func divRound(sum, n int64) int64 { return (sum + n/2) / n }

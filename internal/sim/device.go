@@ -382,6 +382,58 @@ func (u smUsage) fits(cfg *Config, addWarps, addVReg, addSReg, addLDS int) bool 
 		u.ldsBytes+addLDS <= cfg.LDSBytesPerSM
 }
 
+// CanHostBlock reports whether SM sm currently has physical headroom
+// for one block of prog. The scheduler probes it before starting a job
+// on an idle SM: residue from other tenants' partially-finished parked
+// blocks can crowd an SM so badly that a fresh grid would place zero
+// blocks, leaving a launch with nothing resident and no event to ever
+// make progress.
+func (d *Device) CanHostBlock(sm int, prog *isa.Program, warpsPerBlock int) bool {
+	if sm < 0 || sm >= len(d.SMs) {
+		return false
+	}
+	spec := LaunchSpec{Prog: prog, WarpsPerBlock: warpsPerBlock}
+	bw, bv, bs, blds := blockFootprint(&spec)
+	return d.SMs[sm].usage().fits(&d.Cfg, bw, bv, bs, blds)
+}
+
+// CanDisplace reports whether SM sm, once launch victim's live warps
+// have saved their contexts, will have room for one block of prog. The
+// accounting mirrors the post-save state exactly: the victim's live
+// (non-done) warps vanish from the register files and warp slots, and a
+// victim block's LDS frees only when no non-victim resident warp —
+// typically an already-done peer — still pins it.
+func (d *Device) CanDisplace(sm int, victim *Launch, prog *isa.Program, warpsPerBlock int) bool {
+	if sm < 0 || sm >= len(d.SMs) {
+		return false
+	}
+	var u smUsage
+	var seen map[*blockInfo]bool
+	for _, w := range d.SMs[sm].Warps {
+		if w.State == WarpPreempted {
+			continue
+		}
+		if w.launch == victim && w.State != WarpDone {
+			continue // saved by the displacement
+		}
+		u.warps++
+		u.vregBytes += w.Prog.AllocatedVRegs() * 4 * isa.WarpSize
+		u.sregBytes += w.Prog.AllocatedSRegs() * 4
+		if w.Prog.LDSBytes > 0 {
+			if seen == nil {
+				seen = make(map[*blockInfo]bool)
+			}
+			if bi := w.launch.blocks[w.BlockID]; !seen[bi] {
+				seen[bi] = true
+				u.ldsBytes += w.Prog.LDSBytes
+			}
+		}
+	}
+	spec := LaunchSpec{Prog: prog, WarpsPerBlock: warpsPerBlock}
+	bw, bv, bs, blds := blockFootprint(&spec)
+	return u.fits(&d.Cfg, bw, bv, bs, blds)
+}
+
 // blockFootprint is the physical resource demand of one block of spec.
 func blockFootprint(spec *LaunchSpec) (warps, vreg, sreg, lds int) {
 	warps = spec.WarpsPerBlock
@@ -391,12 +443,32 @@ func blockFootprint(spec *LaunchSpec) (warps, vreg, sreg, lds int) {
 	return
 }
 
+// swappedOut reports whether any of the launch's warps currently sits
+// in a saved context. A preempted kernel's block dispatcher is
+// suspended with it: growing the grid while the launch is swapped out
+// would put its fresh warps live on an SM another tenant now owns, and
+// the next preemption sweep there would fold two launches' warps into
+// one episode — an episode the per-job scheduler above can only
+// attribute to one of them, wedging the other forever.
+func (l *Launch) swappedOut() bool {
+	for _, w := range l.Warps {
+		if w.State == WarpPreempted {
+			return true
+		}
+	}
+	return false
+}
+
 // dispatch places as many pending blocks as fit. A block needs both a
 // free per-launch occupancy slot and physical headroom (warp slots,
 // register files, LDS) alongside every other tenant resident on the SM:
 // a newcomer cannot land on an SM whose victim warps have not yet saved
-// their contexts.
+// their contexts. A swapped-out launch places nothing — its pending
+// blocks wait for the resume-complete redispatch.
 func (d *Device) dispatch(l *Launch) {
+	if l.nextBlock < len(l.blocks) && l.swappedOut() {
+		return
+	}
 	for l.nextBlock < len(l.blocks) {
 		bi := l.blocks[l.nextBlock]
 		bw, bv, bs, blds := blockFootprint(&l.Spec)
@@ -405,7 +477,14 @@ func (d *Device) dispatch(l *Launch) {
 			if !l.allowedSM(sm) {
 				continue
 			}
-			if sm.offline && sm.episode != nil && sm.episode.frozen[l] {
+			if sm.offline && sm.episode != nil && (sm.episode.frozen[l] || !sm.episode.Saved()) {
+				// Frozen launches stay barred until the episode finishes.
+				// EVERY launch — including the newcomer the SM is being
+				// vacated for — must wait for the last context store: a
+				// block placed mid-save would issue warps while the
+				// preempt signal is still pending and they would be swept
+				// into a preemption episode they are no victim of, saved,
+				// and never resumed.
 				continue
 			}
 			if sm.blocksOf(l) >= l.Occ.BlocksPerSM {
@@ -628,6 +707,26 @@ func (d *Device) runBounded(cond func() bool, timeBound, maxCycles int64, condOb
 			return nil
 		}
 	}
+}
+
+// RemoveLaunch drops a fully retired launch from the device's
+// bookkeeping so long-running hosts can bound device state — and
+// checkpoint size — over an unbounded job stream. The launch must be
+// completely done: every block placed and every warp retired. The
+// Launch object itself stays valid for the caller's post-mortem reads;
+// the device simply stops tracking it.
+func (d *Device) RemoveLaunch(l *Launch) error {
+	if l.nextBlock < len(l.blocks) || !l.Done() {
+		return fmt.Errorf("sim: launch %q still active (%d/%d warps done)",
+			l.Spec.Prog.Name, l.doneWarps, len(l.Warps))
+	}
+	for i, cand := range d.launches {
+		if cand == l {
+			d.launches = append(d.launches[:i], d.launches[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: launch %q not tracked by this device", l.Spec.Prog.Name)
 }
 
 // Run executes until all launches complete (or maxCycles).

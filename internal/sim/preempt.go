@@ -148,6 +148,16 @@ func (d *Device) Preempt(smID int, rt Runtime) (*Episode, error) {
 	if len(ep.Victims) == 0 {
 		return nil, fmt.Errorf("sim: SM %d: %w", smID, ErrDrained)
 	}
+	// A block whose peers already ran to completion still owns its whole
+	// LDS allocation — shared data staged by any warp (a matrix tile, a
+	// broadcast vector) stays live for the survivors. The per-warp save
+	// shares are fixed at launch, so a victim preempted next to a Done
+	// peer would save only its own slice while the all-saved poison wipes
+	// the full block; the orphaned slice could never be restored. Fold
+	// each Done warp's share into an adjacent victim so the victims'
+	// shares cover the entire block. When every warp is a victim this
+	// reproduces the launch-time split exactly.
+	coverOrphanLDSShares(ep.Victims)
 	ep.tech = rt.Name()
 	ep.names = trace.DefaultPhaseNames()
 	if pn, ok := rt.(PhaseNamer); ok {
@@ -315,6 +325,76 @@ func (d *Device) redispatch() {
 	}
 }
 
+// isVictim reports whether w is one of the warps the episode's signal
+// was raised against. Victims is small (at most one SM's warp slots) and
+// the check only runs while the signal is pending, so a linear scan is
+// fine.
+func (ep *Episode) isVictim(w *Warp) bool {
+	for _, v := range ep.Victims {
+		if v == w {
+			return true
+		}
+	}
+	return false
+}
+
+// coverOrphanLDSShares re-partitions each victim block's LDS save
+// coverage so the union of the victims' shares spans the whole block
+// even when some peers finished before the signal. Shares stay
+// contiguous: leading Done warps fold into the first victim, later ones
+// into the nearest victim before them. Blocks holding a parked
+// (WarpPreempted) peer are left untouched — that peer restores its own
+// share from its own episode.
+func coverOrphanLDSShares(victims []*Warp) {
+	victim := map[*Warp]bool{}
+	blocks := map[*blockInfo]bool{}
+	for _, w := range victims {
+		victim[w] = true
+		if w.Prog.LDSBytes > 0 {
+			blocks[w.launch.blocks[w.BlockID]] = true
+		}
+	}
+	for bi := range blocks {
+		parked := false
+		for _, w := range bi.warps {
+			if w.State == WarpPreempted {
+				parked = true
+				break
+			}
+		}
+		if parked {
+			continue
+		}
+		n := len(bi.warps)
+		share := bi.warps[0].Prog.LDSBytes / n
+		// Reset every victim to its launch-time slice before extending.
+		for wi, w := range bi.warps {
+			if victim[w] {
+				w.LDSShareLo, w.LDSShareHi = wi*share, (wi+1)*share
+			}
+		}
+		first := -1
+		for i, w := range bi.warps {
+			if victim[w] {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
+			continue
+		}
+		bi.warps[first].LDSShareLo = 0
+		prev := first
+		for i := first + 1; i < n; i++ {
+			if victim[bi.warps[i]] {
+				prev = i
+			} else {
+				bi.warps[prev].LDSShareHi = (i + 1) * share
+			}
+		}
+	}
+}
+
 // Saved reports whether every victim has finished its preemption routine
 // (the SM's resources are free).
 func (ep *Episode) Saved() bool { return ep.savedCount == len(ep.Victims) }
@@ -342,23 +422,9 @@ func (ep *Episode) SavedBytes() int64 {
 	return total
 }
 
-// Resume re-materializes every preempted victim on its SM and starts the
-// dedicated resume routines at the current cycle.
-func (d *Device) Resume(ep *Episode) error {
-	if !ep.Saved() {
-		return fmt.Errorf("sim: resume before all contexts saved (%d/%d)", ep.savedCount, len(ep.Victims))
-	}
-	if ep.ResumeStart != 0 {
-		return fmt.Errorf("sim: episode already resumed")
-	}
-	// A parked episode resumes onto its original SM; if a newer episode
-	// took the SM over and is still draining, saving or resuming, the
-	// victims cannot re-materialize yet.
-	if cur := ep.SM.episode; cur != nil && cur != ep && !cur.Finished() && !cur.Parked() {
-		return fmt.Errorf("sim: SM %d is busy with another episode; cannot resume", ep.SM.ID)
-	}
-	// The victims' slots must physically fit back alongside whatever now
-	// runs on the SM — a newcomer tenant may still be resident.
+// resumeFits reports whether ep's victims physically fit back on their
+// SM alongside whatever is resident now.
+func resumeFits(ep *Episode) bool {
 	var vr, sr, lds int
 	seen := map[*blockInfo]bool{}
 	for _, w := range ep.Victims {
@@ -380,7 +446,44 @@ func (d *Device) Resume(ep *Episode) error {
 			}
 		}
 	}
-	if !ep.SM.usage().fits(&d.Cfg, len(ep.Victims), vr, sr, lds) {
+	return ep.SM.usage().fits(&ep.SM.Dev.Cfg, len(ep.Victims), vr, sr, lds)
+}
+
+// CanResume reports whether Resume(ep) would start now: the contexts
+// are saved, the SM is not mid-episode, and the victims physically fit
+// alongside the SM's residents. A parked job whose SM has since filled
+// with other tenants' leftovers (retired warps of partially-finished
+// blocks hold their slots until the whole block completes) is not
+// resumable until space frees; schedulers use this probe to pick a
+// different victim instead of erroring.
+func (d *Device) CanResume(ep *Episode) bool {
+	if !ep.Saved() || ep.ResumeStart != 0 {
+		return false
+	}
+	if cur := ep.SM.episode; cur != nil && cur != ep && !cur.Finished() && !cur.Parked() {
+		return false
+	}
+	return resumeFits(ep)
+}
+
+// Resume re-materializes every preempted victim on its SM and starts the
+// dedicated resume routines at the current cycle.
+func (d *Device) Resume(ep *Episode) error {
+	if !ep.Saved() {
+		return fmt.Errorf("sim: resume before all contexts saved (%d/%d)", ep.savedCount, len(ep.Victims))
+	}
+	if ep.ResumeStart != 0 {
+		return fmt.Errorf("sim: episode already resumed")
+	}
+	// A parked episode resumes onto its original SM; if a newer episode
+	// took the SM over and is still draining, saving or resuming, the
+	// victims cannot re-materialize yet.
+	if cur := ep.SM.episode; cur != nil && cur != ep && !cur.Finished() && !cur.Parked() {
+		return fmt.Errorf("sim: SM %d is busy with another episode; cannot resume", ep.SM.ID)
+	}
+	// The victims' slots must physically fit back alongside whatever now
+	// runs on the SM — a newcomer tenant may still be resident.
+	if !resumeFits(ep) {
 		return fmt.Errorf("sim: SM %d lacks physical headroom to resume %d victims", ep.SM.ID, len(ep.Victims))
 	}
 	// Re-take ownership: while the victims resume, the SM must stay

@@ -125,8 +125,11 @@ func (sm *SM) issue(w *Warp, t int64) error {
 	}
 
 	// Preemption signals are processed before executing each kernel
-	// instruction (paper §III).
-	if sm.episode != nil && sm.episode.pending && w.Mode == ModeKernel && !w.barrierWait {
+	// instruction (paper §III). The signal binds the warps resident at
+	// signal time: a warp dispatched onto the SM later (the newcomer the
+	// SM is vacated for) is not a victim and must not enter the routine.
+	if sm.episode != nil && sm.episode.pending && w.Mode == ModeKernel && !w.barrierWait &&
+		sm.episode.isVictim(w) {
 		sm.beginPreempt(w, t)
 	}
 

@@ -85,11 +85,11 @@ func (h *Histogram) Quantile(q float64) int64 {
 		q = 1
 	}
 	// Rank of the target observation, 1-based, rounded up (the "nearest
-	// rank" definition): q=0.5 over 4 samples targets rank 2.
-	rank := int64(q * float64(n))
-	if float64(rank) < q*float64(n) || rank == 0 {
-		rank++
-	}
+	// rank" definition): q=0.5 over 4 samples targets rank 2. NearestRank
+	// computes ceil(q*n) in exact integer arithmetic; the float ceiling
+	// previously used here drifted one rank high whenever q*n was an
+	// integer whose float product rounds up (0.99 at n=100, 0.95 at n=20).
+	rank := NearestRank(n, q)
 	var cum int64
 	for i := range h.counts {
 		cum += h.counts[i].Load()
