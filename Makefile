@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke serve-smoke procs-diff shards-diff snap-diff gen-smoke
+.PHONY: all build test check bench bench-smoke eval trace-smoke evalcheck sched-smoke serve-smoke procs-diff shards-diff snap-diff gen-smoke cache-diff
 
 all: build
 
@@ -16,7 +16,7 @@ test:
 # tracing pipeline end to end.
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/harness/ ./internal/sched/ ./internal/sim/ ./internal/snapshot/ ./internal/trace/ ./internal/gen/...
+	$(GO) test -race ./internal/artifact/ ./internal/harness/ ./internal/sched/ ./internal/sim/ ./internal/snapshot/ ./internal/trace/ ./internal/gen/...
 	$(MAKE) trace-smoke
 
 # trace-smoke runs one preempted kernel with -trace and validates the
@@ -119,6 +119,26 @@ shards-diff:
 	$(GO) run ./cmd/schedsim -quick -seed 9 -sms 2 -shards 4 > /tmp/ctxback-sched-sms2-s4.txt
 	diff -u /tmp/ctxback-sched-sms2-s1.txt /tmp/ctxback-sched-sms2-s4.txt
 	@echo "quick sweep and sched reports byte-identical across -shards 1/4"
+
+# cache-diff guards the artifact store's byte-identity contract: the
+# quick evaluation sweep and the serve smoke must produce identical
+# bytes with the cache disabled, cold (empty directory, computes and
+# publishes) and warm (second run over the same directory, loads
+# everything from disk). Any drift between the three means a cached
+# artifact decodes to something the cold path would not have computed.
+CACHE_DIR = /tmp/ctxback-cache-diff
+cache-diff:
+	rm -rf $(CACHE_DIR)
+	$(GO) run ./cmd/benchtab -quick > /tmp/ctxback-cache-off.txt
+	$(GO) run ./cmd/benchtab -quick -cache-dir $(CACHE_DIR) > /tmp/ctxback-cache-cold.txt
+	$(GO) run ./cmd/benchtab -quick -cache-dir $(CACHE_DIR) > /tmp/ctxback-cache-warm.txt
+	diff -u /tmp/ctxback-cache-off.txt /tmp/ctxback-cache-cold.txt
+	diff -u /tmp/ctxback-cache-cold.txt /tmp/ctxback-cache-warm.txt
+	$(GO) run ./cmd/schedsim $(SERVE_SMOKE_ARGS) -cache-dir $(CACHE_DIR) > /tmp/ctxback-cache-serve-cold.txt
+	diff -u testdata/serve_smoke.golden /tmp/ctxback-cache-serve-cold.txt
+	$(GO) run ./cmd/schedsim $(SERVE_SMOKE_ARGS) -cache-dir $(CACHE_DIR) > /tmp/ctxback-cache-serve-warm.txt
+	diff -u testdata/serve_smoke.golden /tmp/ctxback-cache-serve-warm.txt
+	@echo "eval sweep and serve golden byte-identical: cache disabled, cold and warm"
 
 # Regenerate EXPERIMENTS.md from a full evaluation sweep.
 eval:

@@ -36,6 +36,7 @@ import (
 	"math"
 	"os"
 
+	"ctxback/internal/artifact"
 	"ctxback/internal/harness"
 	"ctxback/internal/preempt"
 	"ctxback/internal/sched"
@@ -64,6 +65,7 @@ func main() {
 		chaos      = flag.Bool("chaos", false, "fault-injection robustness sweep across kernels x techniques")
 		faultRate  = flag.Float64("faults", 0, "chaos fault rate in [0,1] (0 = sweep the default rates)")
 		faultSeed  = flag.Uint64("fault-seed", 0, "chaos fault seed (0 = default)")
+		cache      = flag.String("cache-dir", "", "persistent content-addressed artifact cache shared across runs and processes (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -104,6 +106,13 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "benchtab:", err)
 		os.Exit(1)
+	}
+	if *cache != "" {
+		st, err := artifact.Open(*cache)
+		if err != nil {
+			fail(err)
+		}
+		artifact.SetDefault(st)
 	}
 
 	// One Runner for every requested experiment: each kernel's golden

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ctxback/internal/artifact"
 	"ctxback/internal/gen"
 	"ctxback/internal/gen/sweep"
 	"ctxback/internal/preempt"
@@ -47,6 +48,7 @@ func main() {
 		chaosRate      = flag.Float64("chaos-rate", 0.2, "chaos fault rate in (0,1]")
 		dump           = flag.Int64("dump", -1, "disassemble one seed's kernel and exit")
 		maxFail        = flag.Int("max-failures", 20, "failure lines printed before truncating")
+		cache          = flag.String("cache-dir", "", "persistent content-addressed artifact cache shared across runs and processes (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -82,6 +84,14 @@ func main() {
 	}
 	if *chaosRate <= 0 || *chaosRate > 1 {
 		usageErr("-chaos-rate must be in (0,1], got %g", *chaosRate)
+	}
+	if *cache != "" {
+		st, err := artifact.Open(*cache)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "genrun:", err)
+			os.Exit(1)
+		}
+		artifact.SetDefault(st)
 	}
 
 	opt := sweep.DefaultOptions()

@@ -32,6 +32,7 @@ import (
 	"runtime"
 	"strings"
 
+	"ctxback/internal/artifact"
 	"ctxback/internal/faults"
 	"ctxback/internal/kernels"
 	"ctxback/internal/preempt"
@@ -55,6 +56,7 @@ func main() {
 		faultRate = flag.Float64("faults", 0, "fault-injection rate in [0,1] for the preempted run (0 = off)")
 		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection seed")
 		ckpt      = flag.Bool("checkpoint", false, "checkpoint the whole device at the parked episode and finish the run on a device restored from the snapshot bytes")
+		cache     = flag.String("cache-dir", "", "persistent content-addressed artifact cache shared across runs and processes (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,13 @@ func main() {
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "gpusim:", err)
 		os.Exit(1)
+	}
+	if *cache != "" {
+		st, err := artifact.Open(*cache)
+		if err != nil {
+			fail(err)
+		}
+		artifact.SetDefault(st)
 	}
 
 	params := kernels.Params{NumBlocks: *blocks, WarpsPerBlock: *warps, ItersPerWarp: *iters, Seed: 7}

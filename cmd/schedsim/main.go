@@ -7,7 +7,7 @@
 //	schedsim [-seed N] [-jobs N] [-tenants N] [-gap CYCLES] [-prio N]
 //	         [-sms N] [-iters N] [-kinds all|paper|K1,K2,...]
 //	         [-quick] [-procs N] [-shards N] [-verify=false] [-metrics]
-//	         [-events]
+//	         [-events] [-cache-dir DIR]
 //	         [-devices N] [-checkpoint-every N] [-kill-device ID@CYCLE]
 //	         [-warm-pool N] [-statehash]
 //
@@ -46,10 +46,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
+	"ctxback/internal/artifact"
 	"ctxback/internal/harness"
 	"ctxback/internal/preempt"
 	"ctxback/internal/sched"
@@ -90,6 +92,31 @@ func parseKinds(spec string) ([]preempt.Kind, error) {
 	return kinds, nil
 }
 
+// withSpool streams a decision log through a temp-file spool instead of
+// accumulating it in memory: run receives the sink to stream into, and
+// once it returns the spooled lines are copied to stdout — the same
+// bytes the in-memory log would have rendered, in the same place.
+func withSpool(run func(*trace.LineSink) error) error {
+	f, err := os.CreateTemp("", "schedsim-log-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	defer f.Close()
+	sink := trace.NewLineSink(f)
+	if err := run(sink); err != nil {
+		return err
+	}
+	if err := sink.Flush(); err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	_, err = io.Copy(os.Stdout, f)
+	return err
+}
+
 func main() {
 	var (
 		seed    = flag.Int64("seed", 1, "arrival-trace seed")
@@ -106,6 +133,7 @@ func main() {
 		verify  = flag.Bool("verify", true, "check every job's output against its CPU golden reference")
 		metrics = flag.Bool("metrics", false, "append per-tenant counters and latency histograms")
 		events  = flag.Bool("events", false, "append each technique's scheduling decision log")
+		cache   = flag.String("cache-dir", "", "persistent content-addressed artifact cache shared across runs and processes (empty = disabled)")
 
 		serve       = flag.Bool("serve", false, "serve mode: open-loop traffic through admission control onto a load-balanced fleet with an online hypervisor")
 		duration    = flag.Int64("duration", 0, "serve mode: generate arrivals for N cycles (0 = use -jobs as a fixed count)")
@@ -202,6 +230,13 @@ func main() {
 	if err != nil {
 		usageErr("%v", err)
 	}
+	if *cache != "" {
+		st, err := artifact.Open(*cache)
+		if err != nil {
+			fail(err)
+		}
+		artifact.SetDefault(st)
+	}
 
 	tc := sched.TraceConfig{
 		Seed:          *seed,
@@ -257,12 +292,21 @@ func main() {
 			if i > 0 {
 				fmt.Println()
 			}
-			res, err := sched.Serve(svc, k, jobsList)
-			if err != nil {
+			// The decision log streams through a temp-file spool while the
+			// run is live and replays after the tables, where EventLog used
+			// to render the accumulated events.
+			if err := withSpool(func(sink *trace.LineSink) error {
+				svc.DecisionSink = sink
+				res, err := sched.Serve(svc, k, jobsList)
+				if err != nil {
+					return err
+				}
+				fmt.Print(res.Render())
+				fmt.Printf("%s decision log:\n", res.Kind)
+				return nil
+			}); err != nil {
 				fail(err)
 			}
-			fmt.Print(res.Render())
-			fmt.Printf("%s decision log:\n%s", res.Kind, res.EventLog())
 		}
 		if *metrics {
 			fmt.Println()
@@ -280,11 +324,21 @@ func main() {
 			if i > 0 {
 				fmt.Println()
 			}
-			fr, err := sched.RunFleet(sc, k, jobs, fo)
-			if err != nil {
+			// Render prints the decision log last, so replaying the spool
+			// right after it keeps the bytes identical.
+			var fr *sched.FleetResult
+			if err := withSpool(func(sink *trace.LineSink) error {
+				fo.DecisionSink = sink
+				var err error
+				fr, err = sched.RunFleet(sc, k, jobs, fo)
+				if err != nil {
+					return err
+				}
+				fmt.Print(fr.Render())
+				return nil
+			}); err != nil {
 				fail(err)
 			}
-			fmt.Print(fr.Render())
 			if *statehash {
 				fmt.Print(fr.StateHash())
 			}

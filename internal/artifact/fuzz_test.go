@@ -1,0 +1,49 @@
+package artifact_test
+
+import (
+	"bytes"
+	"testing"
+
+	"ctxback/internal/artifact"
+	"ctxback/internal/gen"
+	"ctxback/internal/isa"
+)
+
+// FuzzArtifactRoundTrip throws arbitrary bytes at the container loader.
+// The invariants under fuzz: DecodeEntry never panics, and any container
+// it accepts re-encodes to the exact input bytes (the canonical
+// encode∘decode∘encode identity — if two byte strings decoded to the
+// same entry, content addressing would be ambiguous). Seeds are real
+// containers built from generator kernels, so the corpus starts on the
+// valid-format manifold instead of pure noise.
+func FuzzArtifactRoundTrip(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		p := gen.Generate(seed)
+		enc := isa.EncodeProgram(p.Prog)
+		key := artifact.NewKey("fuzz/prog").
+			Bytes("prog", enc).
+			Int("blocks", p.NumBlocks).
+			Int("warps", p.WarpsPerBlock)
+		f.Add(artifact.EncodeEntry(key, enc))
+		// A truncated and a bit-flipped variant steer the fuzzer at the
+		// validation branches.
+		whole := artifact.EncodeEntry(key, enc)
+		f.Add(whole[:len(whole)/2])
+		flipped := append([]byte(nil), whole...)
+		flipped[len(flipped)-1] ^= 0x01
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("CART"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, payload, err := artifact.DecodeEntry(data)
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+		re := artifact.EncodeEntry(&key, payload)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted container is not canonical:\n in: % x\nout: % x", data, re)
+		}
+	})
+}

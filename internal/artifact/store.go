@@ -1,0 +1,309 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Container framing constants.
+const (
+	magic         = "CART"
+	formatVersion = 1
+
+	secKey     = 1
+	secPayload = 2
+)
+
+// EncodeEntry frames a payload for disk: magic, format version, the key
+// echo section and the payload section, each with an FNV-1a 64 trailer.
+func EncodeEntry(key *Key, payload []byte) []byte {
+	kw := NewWriter()
+	kw.Str(key.kind)
+	kw.Bytes(key.blob)
+	echo := kw.Data()
+
+	out := make([]byte, 0, len(magic)+2+2*(2+4+8)+len(echo)+len(payload))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint16(out, formatVersion)
+	out = appendSection(out, secKey, echo)
+	out = appendSection(out, secPayload, payload)
+	return out
+}
+
+func appendSection(out []byte, id uint16, body []byte) []byte {
+	out = binary.LittleEndian.AppendUint16(out, id)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	return binary.LittleEndian.AppendUint64(out, fnv1a64(body))
+}
+
+// DecodeEntry validates a container and returns the echoed key and the
+// payload. Every violation maps to one of the sentinel errors; callers
+// treat any error as a miss.
+func DecodeEntry(data []byte) (Key, []byte, error) {
+	var key Key
+	if len(data) < len(magic)+2 {
+		return key, nil, fmt.Errorf("%w: %d-byte container", ErrTruncated, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return key, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint16(data[len(magic):]); v != formatVersion {
+		return key, nil, fmt.Errorf("%w: format version %d (want %d)", ErrStale, v, formatVersion)
+	}
+	off := len(magic) + 2
+	echo, off, err := readSection(data, off, secKey)
+	if err != nil {
+		return key, nil, err
+	}
+	payload, off, err := readSection(data, off, secPayload)
+	if err != nil {
+		return key, nil, err
+	}
+	if off != len(data) {
+		return key, nil, fmt.Errorf("%w: %d trailing container bytes", ErrCorrupt, len(data)-off)
+	}
+	kr := NewReader(echo)
+	kind := kr.Str()
+	blob := kr.Bytes()
+	if err := kr.Close(); err != nil {
+		return key, nil, fmt.Errorf("%w: key echo: %v", ErrCorrupt, err)
+	}
+	return RawKey(kind, blob), payload, nil
+}
+
+func readSection(data []byte, off int, wantID uint16) (body []byte, next int, err error) {
+	if off+6 > len(data) {
+		return nil, 0, fmt.Errorf("%w: section header", ErrTruncated)
+	}
+	id := binary.LittleEndian.Uint16(data[off:])
+	n := int(binary.LittleEndian.Uint32(data[off+2:]))
+	off += 6
+	if id != wantID {
+		return nil, 0, fmt.Errorf("%w: section id %d (want %d)", ErrCorrupt, id, wantID)
+	}
+	if off+n+8 > len(data) {
+		return nil, 0, fmt.Errorf("%w: section %d body", ErrTruncated, id)
+	}
+	body = data[off : off+n]
+	sum := binary.LittleEndian.Uint64(data[off+n:])
+	if sum != fnv1a64(body) {
+		return nil, 0, fmt.Errorf("%w: section %d checksum", ErrCorrupt, id)
+	}
+	return body, off + n + 8, nil
+}
+
+// Store is one cache directory. The zero value is unusable; Open it.
+type Store struct {
+	dir string
+
+	// Advisory-lock tuning, overridable in tests. LockPoll is the wait
+	// between checks while another process holds a key's lock; LockStale
+	// is the age past which a lock is presumed abandoned and taken over;
+	// LockTimeout bounds the total wait before computing locally anyway.
+	LockPoll    time.Duration
+	LockStale   time.Duration
+	LockTimeout time.Duration
+
+	flights sync.Map // hash -> *flight
+
+	computes atomic.Int64
+	diskHits atomic.Int64
+	memHits  atomic.Int64
+}
+
+// flight is one in-process single-flight computation; it doubles as the
+// in-memory content-keyed cache entry afterwards.
+type flight struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// Open creates/opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("artifact: %w", err)
+	}
+	return &Store{
+		dir:         dir,
+		LockPoll:    5 * time.Millisecond,
+		LockStale:   10 * time.Second,
+		LockTimeout: 60 * time.Second,
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats reports lifetime counters: computes actually run, disk loads,
+// and in-memory single-flight hits.
+func (s *Store) Stats() (computes, diskHits, memHits int64) {
+	return s.computes.Load(), s.diskHits.Load(), s.memHits.Load()
+}
+
+func (s *Store) path(hash string) string { return filepath.Join(s.dir, hash+".art") }
+
+// Get loads and validates the entry for key, returning its payload.
+// Any validation failure — truncation, corruption, version skew, key
+// mismatch — reports a miss.
+func (s *Store) Get(key *Key) ([]byte, bool) {
+	payload, err := s.load(key)
+	return payload, err == nil
+}
+
+func (s *Store) load(key *Key) ([]byte, error) {
+	data, err := os.ReadFile(s.path(key.Hash()))
+	if err != nil {
+		return nil, err
+	}
+	echo, payload, err := DecodeEntry(data)
+	if err != nil {
+		return nil, err
+	}
+	if echo.kind != key.kind || string(echo.blob) != string(key.blob) {
+		return nil, fmt.Errorf("%w: kind %q", ErrKeyMismatch, echo.kind)
+	}
+	return payload, nil
+}
+
+// Put frames and atomically publishes a payload under key: temp file in
+// the store dir, then rename. Concurrent publishers of the same key are
+// harmless — the content is deterministic, so last-writer-wins installs
+// identical bytes.
+func (s *Store) Put(key *Key, payload []byte) error {
+	hash := key.Hash()
+	f, err := os.CreateTemp(s.dir, hash+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	tmp := f.Name()
+	_, werr := f.Write(EncodeEntry(key, payload))
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, s.path(hash))
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("artifact: %w", werr)
+	}
+	return nil
+}
+
+// Do returns the value for key, computing it at most once per process
+// and — barring crashes and lock timeouts — at most once fleet-wide.
+//
+// decode turns a validated disk payload into the value; a decode error
+// is a miss (the entry is recomputed and replaced). compute produces
+// the value plus its disk payload; a nil payload skips publication.
+// The returned value is shared by every in-process caller of the same
+// key, so it must be immutable (which all artifact values are).
+func (s *Store) Do(key *Key,
+	decode func(payload []byte) (any, error),
+	compute func() (value any, payload []byte, err error),
+) (any, error) {
+	hash := key.Hash()
+	fl, loaded := s.flights.LoadOrStore(hash, &flight{})
+	f := fl.(*flight)
+	if loaded {
+		s.memHits.Add(1)
+	}
+	f.once.Do(func() { f.val, f.err = s.doCold(key, hash, decode, compute) })
+	if f.err != nil {
+		// Do not memoize failures: a transient error (disk full during
+		// publish never reaches here, but compute errors may be
+		// environmental) should not wedge the key for the process.
+		s.flights.CompareAndDelete(hash, fl)
+	}
+	return f.val, f.err
+}
+
+func (s *Store) doCold(key *Key, hash string,
+	decode func([]byte) (any, error),
+	compute func() (any, []byte, error),
+) (any, error) {
+	if payload, err := s.load(key); err == nil {
+		if v, derr := decode(payload); derr == nil {
+			s.diskHits.Add(1)
+			return v, nil
+		}
+		// Decodable container but undecodable payload: recompute and
+		// overwrite below.
+	}
+	release, _ := s.acquire(hash)
+	defer release()
+	// Re-check the disk whether or not we hold the lock: a peer may have
+	// published while we were waiting (or between our first load and the
+	// lock acquisition).
+	if payload, err := s.load(key); err == nil {
+		if v, derr := decode(payload); derr == nil {
+			s.diskHits.Add(1)
+			return v, nil
+		}
+	}
+	v, payload, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	s.computes.Add(1)
+	if payload != nil {
+		// Publication failure is not a compute failure: the value is
+		// good, the disk just didn't take it.
+		_ = s.Put(key, payload)
+	}
+	return v, nil
+}
+
+// acquire takes the advisory per-key lock, or waits for the holder.
+// It returns acquired=false when the artifact appeared while waiting,
+// when the wait timed out, or when the dir refuses lock files — in all
+// three cases the caller re-checks the disk and then computes locally.
+func (s *Store) acquire(hash string) (release func(), acquired bool) {
+	lock := filepath.Join(s.dir, hash+".lock")
+	none := func() {}
+	deadline := time.Now().Add(s.LockTimeout)
+	for {
+		f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(lock) }, true
+		}
+		if !os.IsExist(err) {
+			return none, false
+		}
+		if _, err := os.Stat(s.path(hash)); err == nil {
+			return none, false // holder published; caller reloads
+		}
+		if fi, err := os.Stat(lock); err == nil && time.Since(fi.ModTime()) > s.LockStale {
+			// Holder presumed dead; steal the lock. The remove may race
+			// with another staleness observer — both fall through to the
+			// O_EXCL create, which arbitrates.
+			os.Remove(lock)
+			continue
+		}
+		if time.Now().After(deadline) {
+			return none, false
+		}
+		time.Sleep(s.LockPoll)
+	}
+}
+
+// defaultStore is the process-wide store configured by -cache-dir.
+// nil means disabled: every consumer falls back to its compute path,
+// byte-identical to a build without the artifact layer.
+var defaultStore atomic.Pointer[Store]
+
+// SetDefault installs the process-wide store (nil disables caching) and
+// returns the previous one so tests can restore it.
+func SetDefault(s *Store) *Store { return defaultStore.Swap(s) }
+
+// Default returns the process-wide store, or nil when caching is off.
+func Default() *Store { return defaultStore.Load() }

@@ -106,9 +106,11 @@ type prepared struct {
 	goldenCycles int64
 }
 
-// prepare sizes the workload grid (optionally filling the device) and
-// measures the uninterrupted run.
-func (o *Options) prepare(factory kernels.Factory) (*prepared, error) {
+// prepareCold sizes the workload grid (optionally filling the device)
+// and measures the uninterrupted run. It is the compute path behind
+// prepare (see artifact.go), which serves the fill size and golden
+// cycle count from the artifact store when one is configured.
+func (o *Options) prepareCold(factory kernels.Factory) (*prepared, error) {
 	wl, err := factory(o.Params)
 	if err != nil {
 		return nil, err

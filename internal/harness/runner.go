@@ -227,8 +227,7 @@ func (r *Runner) measureMatrix(kinds []preempt.Kind) ([][]EpisodeStats, error) {
 	}
 	r.mmu.Unlock()
 	e.once.Do(func() {
-		r.matrixComputes.Add(1)
-		e.avg, e.err = r.computeMatrix(kinds)
+		e.avg, e.err = r.matrixFor(kinds)
 	})
 	return e.avg, e.err
 }

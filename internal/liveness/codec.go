@@ -1,0 +1,94 @@
+package liveness
+
+import (
+	"fmt"
+
+	"ctxback/internal/artifact"
+	"ctxback/internal/cfg"
+	"ctxback/internal/isa"
+)
+
+// Binary codec for Info, used by the artifact store. Register sets and
+// def maps are written in isa.RegSet.Sorted order, so the encoding is
+// canonical and encode∘decode∘encode is byte-identical. The Graph field
+// is relinked by the caller (it travels as its own artifact section).
+
+// EncodeRegSet appends a register set in sorted order.
+func EncodeRegSet(s isa.RegSet, w *artifact.Writer) {
+	regs := s.Sorted()
+	w.Int(len(regs))
+	for _, r := range regs {
+		w.U8(uint8(r.Class))
+		w.U16(r.Index)
+	}
+}
+
+// DecodeRegSet reads a register set written by EncodeRegSet.
+func DecodeRegSet(r *artifact.Reader) isa.RegSet {
+	n := r.Len()
+	s := make(isa.RegSet, n)
+	for i := 0; i < n; i++ {
+		cls := isa.RegClass(r.U8())
+		idx := r.U16()
+		s.Add(isa.Reg{Class: cls, Index: idx})
+	}
+	return s
+}
+
+// EncodeInfo appends info's per-PC tables to w.
+func EncodeInfo(info *Info, w *artifact.Writer) {
+	n := len(info.LiveIn)
+	w.Int(n)
+	for pc := 0; pc < n; pc++ {
+		EncodeRegSet(info.LiveIn[pc], w)
+		EncodeRegSet(info.LiveOut[pc], w)
+		w.Bool(info.ExecFullIn[pc])
+		EncodeRegSet(info.EscIn[pc], w)
+		defs := info.DefOf[pc]
+		keys := make(isa.RegSet, len(defs))
+		for reg := range defs {
+			keys.Add(reg)
+		}
+		sorted := keys.Sorted()
+		w.Int(len(sorted))
+		for _, reg := range sorted {
+			w.U8(uint8(reg.Class))
+			w.U16(reg.Index)
+			w.Int(defs[reg])
+		}
+	}
+}
+
+// DecodeInfo reads an Info for g written by EncodeInfo.
+func DecodeInfo(g *cfg.Graph, r *artifact.Reader) (*Info, error) {
+	n := r.Len()
+	if n != g.Prog.Len() {
+		return nil, fmt.Errorf("liveness: decode: %d PCs for a %d-instruction program", n, g.Prog.Len())
+	}
+	info := &Info{
+		Graph:      g,
+		LiveIn:     make([]isa.RegSet, n),
+		LiveOut:    make([]isa.RegSet, n),
+		ExecFullIn: make([]bool, n),
+		EscIn:      make([]isa.RegSet, n),
+		DefOf:      make([]map[isa.Reg]int, n),
+	}
+	for pc := 0; pc < n; pc++ {
+		info.LiveIn[pc] = DecodeRegSet(r)
+		info.LiveOut[pc] = DecodeRegSet(r)
+		info.ExecFullIn[pc] = r.Bool()
+		info.EscIn[pc] = DecodeRegSet(r)
+		nd := r.Len()
+		m := make(map[isa.Reg]int, nd)
+		for i := 0; i < nd; i++ {
+			cls := isa.RegClass(r.U8())
+			idx := r.U16()
+			m[isa.Reg{Class: cls, Index: idx}] = r.Int()
+		}
+		info.DefOf[pc] = m
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return info, nil
+}

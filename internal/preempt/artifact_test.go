@@ -1,0 +1,246 @@
+package preempt
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ctxback/internal/artifact"
+	"ctxback/internal/cfg"
+	"ctxback/internal/core"
+	"ctxback/internal/kernels"
+	"ctxback/internal/liveness"
+)
+
+// uniqueKM builds a KM workload with an iteration count no other test
+// uses, so the process-wide content caches cannot mask the store paths
+// under test.
+func uniqueKM(t *testing.T, iters int) *kernels.Workload {
+	t.Helper()
+	p := kernels.TestParams()
+	p.ItersPerWarp = iters
+	wl, err := kernels.NewKM(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+// TestStoredCompiledWarmColdEquivalence: a warm load from a fresh Store
+// over the same directory (a simulated new process) must decode to the
+// same compiled plans, byte for byte, as the cold compile.
+func TestStoredCompiledWarmColdEquivalence(t *testing.T) {
+	wl := uniqueKM(t, 37)
+	prog := wl.Prog
+	cold, err := core.Compile(prog, core.FeatAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st1, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := storedCompiled(st1, prog, core.FeatAll, encodedProgram(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp, disk, _ := st1.Stats(); comp != 1 || disk != 0 {
+		t.Fatalf("cold store stats: %d computes, %d disk hits", comp, disk)
+	}
+	st2, err := artifact.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := storedCompiled(st2, prog, core.FeatAll, encodedProgram(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp, disk, _ := st2.Stats(); comp != 0 || disk != 1 {
+		t.Fatalf("warm store stats: %d computes, %d disk hits", comp, disk)
+	}
+	b0 := core.EncodeCompiled(cold)
+	b1 := core.EncodeCompiled(c1)
+	b2 := core.EncodeCompiled(c2)
+	if !bytes.Equal(b0, b1) || !bytes.Equal(b1, b2) {
+		t.Fatal("cold, stored-cold and warm compiled plans differ")
+	}
+}
+
+// TestStoredCompiledKeyedByFeats: the feature subset is not derivable
+// from the program bytes, so each ablation must get its own artifact.
+func TestStoredCompiledKeyedByFeats(t *testing.T) {
+	wl := uniqueKM(t, 38)
+	prog := wl.Prog
+	st, err := artifact.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encodedProgram(prog)
+	if _, err := storedCompiled(st, prog, core.FeatAll, enc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storedCompiled(st, prog, core.FeatOSRB, enc); err != nil {
+		t.Fatal(err)
+	}
+	if comp, _, _ := st.Stats(); comp != 2 {
+		t.Fatalf("%d computes for two feature subsets, want 2", comp)
+	}
+}
+
+// TestStoredAnalysisWarmColdEquivalence re-encodes the warm-loaded graph
+// and liveness and compares the canonical bytes with the cold pass.
+func TestStoredAnalysisWarmColdEquivalence(t *testing.T) {
+	wl := uniqueKM(t, 39)
+	prog := wl.Prog
+	g, err := cfg.Build(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := liveness.Analyze(g)
+	cold := artifact.NewWriter()
+	cfg.EncodeGraph(g, cold)
+	liveness.EncodeInfo(live, cold)
+
+	dir := t.TempDir()
+	st1, _ := artifact.Open(dir)
+	if _, err := storedAnalysis(st1, prog); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := artifact.Open(dir)
+	a, err := storedAnalysis(st2, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp, disk, _ := st2.Stats(); comp != 0 || disk != 1 {
+		t.Fatalf("warm store stats: %d computes, %d disk hits", comp, disk)
+	}
+	warm := artifact.NewWriter()
+	cfg.EncodeGraph(a.graph, warm)
+	liveness.EncodeInfo(a.live, warm)
+	if !bytes.Equal(cold.Data(), warm.Data()) {
+		t.Fatal("warm-loaded analysis re-encodes differently from the cold pass")
+	}
+}
+
+// TestStoredCkptStaticKeyedByInterval: the checkpoint interval is an
+// input the program bytes do not cover, so it must be keyed explicitly,
+// and the warm load must reproduce the cold tables exactly.
+func TestStoredCkptStaticKeyedByInterval(t *testing.T) {
+	wl := uniqueKM(t, 40)
+	prog := wl.Prog
+	coldA, err := computeCkptStatic(prog, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st1, _ := artifact.Open(dir)
+	if _, err := storedCkptStatic(st1, prog, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storedCkptStatic(st1, prog, 200); err != nil {
+		t.Fatal(err)
+	}
+	if comp, _, _ := st1.Stats(); comp != 2 {
+		t.Fatalf("%d computes for two intervals, want 2", comp)
+	}
+	st2, _ := artifact.Open(dir)
+	warmA, err := storedCkptStatic(st2, prog, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp, disk, _ := st2.Stats(); comp != 0 || disk != 1 {
+		t.Fatalf("warm store stats: %d computes, %d disk hits", comp, disk)
+	}
+	if !reflect.DeepEqual(coldA.site, warmA.site) ||
+		!reflect.DeepEqual(coldA.siteOf, warmA.siteOf) ||
+		!reflect.DeepEqual(coldA.forced, warmA.forced) {
+		t.Fatal("warm ckpt tables differ from the cold computation")
+	}
+}
+
+// TestStoredFlushAndCSDeferWarmEquivalence covers the remaining two
+// artifact kinds with the same fresh-store warm/cold comparison.
+func TestStoredFlushAndCSDeferWarmEquivalence(t *testing.T) {
+	wl := uniqueKM(t, 41)
+	prog := wl.Prog
+	a, err := analysisFor(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldFlush, err := computeFlushStatic(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTargets := computeCSDeferTargets(prog, a.graph, a.live)
+
+	dir := t.TempDir()
+	st1, _ := artifact.Open(dir)
+	if _, err := storedFlushStatic(st1, prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storedCSDeferTargets(st1, prog, a.graph, a.live); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := artifact.Open(dir)
+	warmFlush, err := storedFlushStatic(st2, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmTargets, err := storedCSDeferTargets(st2, prog, a.graph, a.live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp, disk, _ := st2.Stats(); comp != 0 || disk != 2 {
+		t.Fatalf("warm store stats: %d computes, %d disk hits", comp, disk)
+	}
+	if warmFlush.flushable != coldFlush.flushable ||
+		!reflect.DeepEqual(warmFlush.entryRegs, coldFlush.entryRegs) {
+		t.Fatal("warm flush verdict differs from the cold computation")
+	}
+	if !reflect.DeepEqual(warmTargets, coldTargets) {
+		t.Fatal("warm CS-Defer targets differ from the cold computation")
+	}
+}
+
+// TestNewCTXBackWarmFromStore drives the full technique-construction
+// path against a pre-populated directory with content this process has
+// never compiled through the technique caches: the construction must be
+// served from disk, not recompiled, and behave identically.
+func TestNewCTXBackWarmFromStore(t *testing.T) {
+	wl1 := uniqueKM(t, 43)
+	dir := t.TempDir()
+	st1, _ := artifact.Open(dir)
+	// Populate the disk without touching the in-process technique caches.
+	// The analysis artifact rides along, as it would after any cold run
+	// that built a non-CTXBack technique for the program: the compiled
+	// plans' decoder relinks against it.
+	want, err := storedCompiled(st1, wl1.Prog, core.FeatAll, encodedProgram(wl1.Prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := storedAnalysis(st1, wl1.Prog); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh Store, fresh (but content-identical) program: the pointer and
+	// content caches miss, the disk hits.
+	wl2 := uniqueKM(t, 43)
+	if wl2.Prog == wl1.Prog {
+		t.Fatal("test needs distinct program pointers")
+	}
+	st2, _ := artifact.Open(dir)
+	prev := artifact.SetDefault(st2)
+	defer artifact.SetDefault(prev)
+	tech, err := NewCTXBackFeatures(wl2.Prog, core.FeatAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp, disk, _ := st2.Stats(); comp != 0 || disk != 2 {
+		t.Fatalf("warm construction stats: %d computes, %d disk hits", comp, disk)
+	}
+	got := tech.(*ctxbackTech).Compiled()
+	if !bytes.Equal(core.EncodeCompiled(got), core.EncodeCompiled(want)) {
+		t.Fatal("warm-constructed technique decodes different plans")
+	}
+}

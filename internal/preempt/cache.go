@@ -3,6 +3,7 @@ package preempt
 import (
 	"sync"
 
+	"ctxback/internal/artifact"
 	"ctxback/internal/cfg"
 	"ctxback/internal/isa"
 	"ctxback/internal/liveness"
@@ -35,15 +36,26 @@ var analysisCache sync.Map // *isa.Program -> *progAnalysis
 // analysisFor returns the memoized CFG and liveness analysis for prog.
 // Concurrent first callers may both compute; the analyses are
 // deterministic so either result is valid and LoadOrStore picks one.
+// With a configured artifact store the content-addressed copy on disk is
+// consulted first, sharing the analysis across processes.
 func analysisFor(prog *isa.Program) (*progAnalysis, error) {
 	if a, ok := analysisCache.Load(prog); ok {
 		return a.(*progAnalysis), nil
 	}
-	g, err := cfg.Build(prog)
-	if err != nil {
-		return nil, err
+	var a *progAnalysis
+	if st := artifact.Default(); st != nil {
+		var err error
+		a, err = storedAnalysis(st, prog)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		g, err := cfg.Build(prog)
+		if err != nil {
+			return nil, err
+		}
+		a = &progAnalysis{graph: g, live: liveness.Analyze(g)}
 	}
-	a := &progAnalysis{graph: g, live: liveness.Analyze(g)}
 	got, _ := analysisCache.LoadOrStore(prog, a)
 	return got.(*progAnalysis), nil
 }
@@ -72,17 +84,35 @@ func baselineRegs(prog *isa.Program) isa.RegSet {
 
 var csdeferCache sync.Map // *isa.Program -> []int
 
-// csdeferTargets returns the memoized per-PC deferral destinations.
+// csdeferTargets returns the memoized per-PC deferral destinations,
+// consulting the artifact store when one is configured.
 func csdeferTargets(prog *isa.Program, g *cfg.Graph, live *liveness.Info) []int {
 	if t, ok := csdeferCache.Load(prog); ok {
 		return t.([]int)
 	}
+	var target []int
+	if st := artifact.Default(); st != nil {
+		var err error
+		target, err = storedCSDeferTargets(st, prog, g, live)
+		if err != nil {
+			target = nil
+		}
+	}
+	if target == nil {
+		target = computeCSDeferTargets(prog, g, live)
+	}
+	got, _ := csdeferCache.LoadOrStore(prog, target)
+	return got.([]int)
+}
+
+// computeCSDeferTargets is the cold path: one deferTarget evaluation per
+// PC.
+func computeCSDeferTargets(prog *isa.Program, g *cfg.Graph, live *liveness.Info) []int {
 	target := make([]int, prog.Len())
 	for pc := 0; pc < prog.Len(); pc++ {
 		target[pc] = deferTarget(prog, g, live, pc)
 	}
-	got, _ := csdeferCache.LoadOrStore(prog, target)
-	return got.([]int)
+	return target
 }
 
 // ckptStatic is the immutable part of a CKPT compilation: checkpoint

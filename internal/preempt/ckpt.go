@@ -1,6 +1,7 @@
 package preempt
 
 import (
+	"ctxback/internal/artifact"
 	"ctxback/internal/isa"
 	"ctxback/internal/sim"
 	"ctxback/internal/trace"
@@ -49,12 +50,30 @@ func NewCKPT(prog *isa.Program, interval int) (Technique, error) {
 }
 
 // ckptStaticFor builds (or returns the memoized) immutable part of a
-// CKPT compilation.
+// CKPT compilation, consulting the artifact store when one is
+// configured.
 func ckptStaticFor(prog *isa.Program, interval int) (*ckptStatic, error) {
 	key := ckptKey{prog: prog, interval: interval}
 	if st, ok := ckptCache.Load(key); ok {
 		return st.(*ckptStatic), nil
 	}
+	var s *ckptStatic
+	var err error
+	if store := artifact.Default(); store != nil {
+		s, err = storedCkptStatic(store, prog, interval)
+	} else {
+		s, err = computeCkptStatic(prog, interval)
+	}
+	if err != nil {
+		return nil, err
+	}
+	got, _ := ckptCache.LoadOrStore(key, s)
+	return got.(*ckptStatic), nil
+}
+
+// computeCkptStatic is the cold path: checkpoint-site selection over the
+// block structure plus the forced post-hazard snapshot PCs.
+func computeCkptStatic(prog *isa.Program, interval int) (*ckptStatic, error) {
 	a, err := analysisFor(prog)
 	if err != nil {
 		return nil, err
@@ -120,8 +139,7 @@ func ckptStaticFor(prog *isa.Program, interval int) (*ckptStatic, error) {
 			}
 		}
 	}
-	got, _ := ckptCache.LoadOrStore(key, st)
-	return got.(*ckptStatic), nil
+	return st, nil
 }
 
 func (t *ckptTech) Kind() Kind   { return Ckpt }

@@ -3,6 +3,7 @@ package preempt
 import (
 	"sync"
 
+	"ctxback/internal/artifact"
 	"ctxback/internal/core"
 	"ctxback/internal/isa"
 	"ctxback/internal/sim"
@@ -47,17 +48,27 @@ type ptrCompileKey struct {
 }
 
 // NewCTXBackFeatures compiles CTXBack with a feature subset (ablations).
+// Lookup order: per-pointer cache, per-content cache, artifact store
+// (when configured — a warm store replaces the ~seconds compile with a
+// millisecond plan load), then the cold core.Compile.
 func NewCTXBackFeatures(prog *isa.Program, feats core.Feature) (Technique, error) {
 	pkey := ptrCompileKey{prog: prog, feats: feats}
 	if c, ok := ptrCompileCache.Load(pkey); ok {
 		return &ctxbackTech{prog: prog, compiled: c.(*core.Compiled)}, nil
 	}
-	key := compileKey{encoded: string(isa.EncodeProgram(prog)), feats: feats}
+	enc := encodedProgram(prog)
+	key := compileKey{encoded: string(enc), feats: feats}
 	if c, ok := compileCache.Load(key); ok {
 		ptrCompileCache.LoadOrStore(pkey, c)
 		return &ctxbackTech{prog: prog, compiled: c.(*core.Compiled)}, nil
 	}
-	c, err := core.Compile(prog, feats)
+	var c *core.Compiled
+	var err error
+	if st := artifact.Default(); st != nil {
+		c, err = storedCompiled(st, prog, feats, enc)
+	} else {
+		c, err = core.Compile(prog, feats)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,9 @@ package preempt
 
 import (
 	"fmt"
+	"sync"
 
+	"ctxback/internal/artifact"
 	"ctxback/internal/cfg"
 	"ctxback/internal/isa"
 	"ctxback/internal/sim"
@@ -46,6 +48,55 @@ func NewSMFlush(prog *isa.Program) (Technique, error) {
 }
 
 func newFlushTech(prog *isa.Program) (*flushTech, error) {
+	fs, err := flushStaticFor(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &flushTech{
+		prog:      prog,
+		entryRegs: fs.entryRegs,
+		entry:     make(map[int]*sim.SavedContext),
+		flushable: fs.flushable,
+	}, nil
+}
+
+// flushStatic is the immutable part of an SM-flush compilation: the
+// whole-kernel idempotence verdict and the entry register set. Shared
+// read-only across episodes (the per-warp entry snapshots stay on the
+// technique instance).
+type flushStatic struct {
+	flushable bool
+	entryRegs isa.RegSet
+}
+
+var flushCache sync.Map // *isa.Program -> *flushStatic
+
+// flushStaticFor memoizes the flush static analysis per program,
+// consulting the artifact store when one is configured. Before this
+// cache every flush (and chimera) construction re-ran CFG construction
+// and the soundness scan.
+func flushStaticFor(prog *isa.Program) (*flushStatic, error) {
+	if s, ok := flushCache.Load(prog); ok {
+		return s.(*flushStatic), nil
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	var s *flushStatic
+	var err error
+	if store := artifact.Default(); store != nil {
+		s, err = storedFlushStatic(store, prog)
+	} else {
+		s, err = computeFlushStatic(prog)
+	}
+	if err != nil {
+		return nil, err
+	}
+	got, _ := flushCache.LoadOrStore(prog, s)
+	return got.(*flushStatic), nil
+}
+
+func computeFlushStatic(prog *isa.Program) (*flushStatic, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -74,12 +125,7 @@ func newFlushTech(prog *isa.Program) (*flushTech, error) {
 	if sccObs {
 		regs.Add(isa.SCC)
 	}
-	return &flushTech{
-		prog:      prog,
-		entryRegs: regs,
-		entry:     make(map[int]*sim.SavedContext),
-		flushable: flushable,
-	}, nil
+	return &flushStatic{flushable: flushable, entryRegs: regs}, nil
 }
 
 func (t *flushTech) Kind() Kind   { return SMFlush }

@@ -59,6 +59,23 @@ type FailoverConfig struct {
 	// restore skips construction (snapshot.ColdSetupCycles); 0 restores
 	// cold.
 	WarmPool int
+
+	// DecisionSink, when non-nil, streams each decision-log line
+	// (rendered with FleetEvent.String) as it is emitted instead of
+	// accumulating FleetResult.Decisions; Render then omits the log and
+	// the caller replays the sink after it. The caller flushes the sink.
+	DecisionSink *trace.LineSink
+}
+
+// decide records one fleet decision: streamed to the sink when set,
+// accumulated on the result otherwise. Both paths render through
+// FleetEvent.String, so the emitted bytes are identical.
+func (fo *FailoverConfig) decide(fr *FleetResult, e FleetEvent) {
+	if fo.DecisionSink != nil {
+		fo.DecisionSink.WriteLine(e.String())
+		return
+	}
+	fr.Decisions = append(fr.Decisions, e)
 }
 
 // FleetEvent is one entry of the fleet-level decision log.
@@ -502,7 +519,7 @@ func RunFleet(cfg Config, kind preempt.Kind, jobs []Job, fo FailoverConfig) (*Fl
 				}
 				ckpts[di] = c
 				fr.Checkpoints++
-				fr.Decisions = append(fr.Decisions, FleetEvent{Cycle: stop, What: "checkpoint",
+				fo.decide(fr, FleetEvent{Cycle: stop, What: "checkpoint",
 					Device: di, Job: -1, Detail: fmt.Sprintf("epoch %d, %d bytes", epoch, len(c.enc))})
 				if cfg.Metrics != nil {
 					cfg.Metrics.Counter("snap.checkpoints").Add(1)
@@ -538,7 +555,7 @@ func failover(fr *FleetResult, cfg Config, kind preempt.Kind, fo FailoverConfig,
 	kd := fo.KillDevice
 	kill := fo.KillCycle
 	ks := scheds[kd]
-	fr.Decisions = append(fr.Decisions, FleetEvent{Cycle: kill, What: "kill", Device: kd, Job: -1,
+	fo.decide(fr, FleetEvent{Cycle: kill, What: "kill", Device: kd, Job: -1,
 		Detail: fmt.Sprintf("device state lost at cycle %d", kill)})
 	done[kd] = true
 	if ks == nil {
@@ -606,7 +623,7 @@ func failover(fr *FleetResult, cfg Config, kind preempt.Kind, fo FailoverConfig,
 				what = "restore-warm"
 			}
 			fr.Restore = &res.Outcome
-			fr.Decisions = append(fr.Decisions, FleetEvent{Cycle: kill, What: what, Device: newID, Job: -1,
+			fo.decide(fr, FleetEvent{Cycle: kill, What: what, Device: newID, Job: -1,
 				Detail: fmt.Sprintf("epoch %d from cycle %d: %d jobs, setup %d + transfer %d cycles",
 					c.epoch, c.cycle, len(carry), res.Outcome.SetupCycles, res.Outcome.TransferCycles)})
 			if cfg.Metrics != nil {
@@ -633,7 +650,7 @@ func failover(fr *FleetResult, cfg Config, kind preempt.Kind, fo FailoverConfig,
 			done = append(done, false)
 			offsets = append(offsets, kill) // recovery work starts at the kill
 			ckpts = append(ckpts, nil)
-			fr.Decisions = append(fr.Decisions, FleetEvent{Cycle: kill, What: "rerun", Device: newID, Job: -1,
+			fo.decide(fr, FleetEvent{Cycle: kill, What: "rerun", Device: newID, Job: -1,
 				Detail: fmt.Sprintf("%d jobs replay from scratch (no restorable checkpoint under %v)", len(carry), kind)})
 			if cfg.Metrics != nil {
 				cfg.Metrics.Counter("snap.reruns").Add(1)
@@ -661,7 +678,7 @@ func failover(fr *FleetResult, cfg Config, kind preempt.Kind, fo FailoverConfig,
 			return nil, nil, nil, nil, err
 		}
 		done[tgt] = false
-		fr.Decisions = append(fr.Decisions, FleetEvent{Cycle: kill, What: "readmit", Device: tgt,
+		fo.decide(fr, FleetEvent{Cycle: kill, What: "readmit", Device: tgt,
 			Job: rj.job.ID, Detail: fmt.Sprintf("from dead device %d", kd)})
 		if cfg.Metrics != nil {
 			cfg.Metrics.Counter("snap.readmits").Add(1)

@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sync"
+)
+
+// LineSink streams formatted decision-log lines to an io.Writer as they
+// are produced, so long-running serving and fleet runs do not accumulate
+// their event logs in memory. Producers format each event with the same
+// String() renderer the in-memory path uses, keeping the bytes identical
+// to the accumulated-then-rendered output.
+//
+// The sink is safe for concurrent producers; lines are written whole, in
+// call order. Write errors latch: producers keep running (a dying log
+// consumer must not wedge the simulation) and the first error is
+// reported by Flush.
+type LineSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+// NewLineSink wraps w in a buffered line sink.
+func NewLineSink(w io.Writer) *LineSink {
+	return &LineSink{w: bufio.NewWriter(w)}
+}
+
+// WriteLine appends one formatted line (a trailing newline is added).
+func (s *LineSink) WriteLine(line string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if _, err := s.w.WriteString(line); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first latched write error.
+func (s *LineSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
